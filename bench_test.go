@@ -1,0 +1,160 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// microbenchmarks of the simulator's hot paths.
+//
+// Each BenchmarkFigure*/BenchmarkTable* run executes the corresponding
+// experiment (quick mode by default), writes its CSV to results/, and logs
+// the regenerated table. The full quick suite takes ~20 minutes on one
+// core — past Go's default 10-minute per-package test timeout — so pass an
+// explicit timeout:
+//
+//	go test -bench=. -benchmem -timeout 60m
+//
+// or regenerate one experiment at publication scale (hours each):
+//
+//	go test -bench=Figure2 -eac.paper -timeout 24h
+package eac_test
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"eac"
+	"eac/internal/experiments"
+	"eac/internal/netsim"
+	"eac/internal/sim"
+)
+
+var (
+	paperScale = flag.Bool("eac.paper", false, "run experiments at publication scale (14000 s x 7 seeds)")
+	benchSeeds = flag.Int("eac.seeds", 0, "override experiment seed count")
+	benchDur   = flag.Float64("eac.duration", 0, "override experiment duration, simulated seconds")
+	benchV     = flag.Bool("eac.v", false, "log every completed experiment run")
+)
+
+func benchOpts(b *testing.B) experiments.Options {
+	opts := experiments.Quick()
+	if *paperScale {
+		opts = experiments.Paper()
+	}
+	opts.Seeds = *benchSeeds
+	opts.Duration = sim.Seconds(*benchDur)
+	if *benchV {
+		opts.Progress = func(format string, args ...any) { b.Logf(format, args...) }
+	}
+	return opts
+}
+
+// runExperiment regenerates one figure/table per iteration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	opts := benchOpts(b)
+	ex, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tbl, err := ex.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if err := os.MkdirAll("results", 0o755); err == nil {
+				_ = os.WriteFile("results/"+id+".csv", []byte(tbl.CSV()), 0o644)
+			}
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// One benchmark per evaluation artifact, in paper order.
+
+func BenchmarkFigure1(b *testing.B)  { runExperiment(b, "figure1") }
+func BenchmarkFigure2(b *testing.B)  { runExperiment(b, "figure2") }
+func BenchmarkFigure3(b *testing.B)  { runExperiment(b, "figure3") }
+func BenchmarkFigure4(b *testing.B)  { runExperiment(b, "figure4") }
+func BenchmarkFigure5(b *testing.B)  { runExperiment(b, "figure5") }
+func BenchmarkFigure6(b *testing.B)  { runExperiment(b, "figure6") }
+func BenchmarkFigure7(b *testing.B)  { runExperiment(b, "figure7") }
+func BenchmarkFigure8(b *testing.B)  { runExperiment(b, "figure8") }
+func BenchmarkFigure9(b *testing.B)  { runExperiment(b, "figure9") }
+func BenchmarkTable3(b *testing.B)   { runExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)   { runExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B)   { runExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B)   { runExperiment(b, "table6") }
+func BenchmarkFigure11(b *testing.B) { runExperiment(b, "figure11") }
+
+// Microbenchmarks of the hot paths.
+
+// BenchmarkEventLoop measures raw scheduler throughput: one self-
+// rescheduling event.
+func BenchmarkEventLoop(b *testing.B) {
+	s := sim.New()
+	n := 0
+	var ev *sim.Event
+	ev = sim.NewEvent(func(now sim.Time) {
+		n++
+		if n < b.N {
+			s.Schedule(ev, now+1)
+		}
+	})
+	b.ResetTimer()
+	s.Schedule(ev, 1)
+	s.RunAll()
+}
+
+// BenchmarkLinkForwarding measures the per-packet cost of the full path:
+// enqueue, serialize, propagate, deliver, recycle.
+func BenchmarkLinkForwarding(b *testing.B) {
+	s := sim.New()
+	var pool netsim.Pool
+	l := netsim.NewLink(s, "bench", 1e9, sim.Millisecond, netsim.NewDropTail(1<<20))
+	sink := sinkFunc(func(now sim.Time, p *netsim.Packet) { pool.Put(p) })
+	route := []netsim.Receiver{l, sink}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pool.Get()
+		p.Size = 125
+		p.Route = route
+		netsim.Send(s.Now(), p)
+		if i%64 == 63 {
+			s.Run(s.Now() + sim.Millisecond)
+		}
+	}
+	s.RunAll()
+}
+
+type sinkFunc func(sim.Time, *netsim.Packet)
+
+func (f sinkFunc) Receive(now sim.Time, p *netsim.Packet) { f(now, p) }
+
+// BenchmarkScenarioSecond measures the wall cost of one simulated second
+// of the basic scenario at steady state.
+func BenchmarkScenarioSecond(b *testing.B) {
+	cfg := eac.Config{
+		Method: eac.EAC,
+		AC: eac.ACConfig{
+			Design: eac.DropInBand,
+			Kind:   eac.SlowStart,
+			Eps:    0.01,
+		},
+		Duration:        eac.Time(b.N+30) * eac.Second,
+		Warmup:          10 * eac.Second,
+		PrepopulateUtil: 0.8,
+		Seed:            1,
+	}
+	b.ResetTimer()
+	if _, err := eac.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFluidSolve measures the analytic model's exact solve at the
+// default truncation.
+func BenchmarkFluidSolve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eac.SolveFluid(eac.FluidParams{Tprobe: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

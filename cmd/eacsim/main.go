@@ -1,0 +1,137 @@
+// Command eacsim runs one endpoint-admission-control scenario and prints
+// the paper's metrics: utilization of the allocated share, data packet
+// loss probability, and flow blocking probability.
+//
+// Examples:
+//
+//	eacsim -design drop-in -prober slow-start -eps 0.01
+//	eacsim -method mbac -target 0.95 -tau 1.0 -duration 14000
+//	eacsim -source StarWars -tau 8 -design mark-out -eps 0.05 -seeds 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"eac/internal/admission"
+	"eac/internal/scenario"
+	"eac/internal/sim"
+	"eac/internal/trafgen"
+)
+
+func parseDesign(s string) (admission.Design, error) {
+	switch s {
+	case "drop-in":
+		return admission.DropInBand, nil
+	case "drop-out":
+		return admission.DropOutOfBand, nil
+	case "mark-in":
+		return admission.MarkInBand, nil
+	case "mark-out":
+		return admission.MarkOutOfBand, nil
+	case "vdrop-out":
+		return admission.VDropOutOfBand, nil
+	}
+	return admission.Design{}, fmt.Errorf("unknown design %q (drop-in, drop-out, mark-in, mark-out, vdrop-out)", s)
+}
+
+func parseProber(s string) (admission.ProberKind, error) {
+	switch s {
+	case "simple":
+		return admission.Simple, nil
+	case "early-reject":
+		return admission.EarlyReject, nil
+	case "slow-start":
+		return admission.SlowStart, nil
+	}
+	return 0, fmt.Errorf("unknown prober %q (simple, early-reject, slow-start)", s)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eacsim: ")
+
+	var (
+		method   = flag.String("method", "eac", "admission method: eac, mbac, passive, none")
+		design   = flag.String("design", "drop-in", "endpoint design: drop-in, drop-out, mark-in, mark-out, vdrop-out")
+		prober   = flag.String("prober", "slow-start", "probing algorithm: simple, early-reject, slow-start")
+		eps      = flag.Float64("eps", 0.01, "acceptance threshold")
+		target   = flag.Float64("target", 0.95, "MBAC utilization target")
+		source   = flag.String("source", "EXP1", "traffic source: EXP1, EXP2, EXP3, EXP4, POO1, StarWars")
+		tau      = flag.Float64("tau", 3.5, "mean flow inter-arrival time, seconds")
+		life     = flag.Float64("life", 300, "mean flow lifetime, seconds")
+		linkBps  = flag.Float64("link", 10e6, "allocated link share, bits/s")
+		duration = flag.Float64("duration", 14000, "simulated seconds")
+		warmup   = flag.Float64("warmup", 2000, "discarded warm-up seconds")
+		prepop   = flag.Float64("prepopulate", 0, "seed stationary flows to this utilization (0 = off)")
+		seeds    = flag.Int("seeds", 1, "number of seeds to average")
+		probeDur = flag.Float64("probe", 5, "total probe duration, seconds")
+		useRED   = flag.Bool("red", false, "use a RED queue instead of drop-tail (in-band designs only)")
+		retries  = flag.Int("retries", 0, "max admission retries with exponential back-off")
+	)
+	flag.Parse()
+
+	preset, err := trafgen.Lookup(*source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := scenario.Config{
+		Classes:         []scenario.ClassSpec{{Preset: preset, Weight: 1, Eps: -1}},
+		Links:           []scenario.LinkSpec{{RateBps: *linkBps}},
+		InterArrival:    *tau,
+		LifetimeSec:     *life,
+		Duration:        sim.Seconds(*duration),
+		Warmup:          sim.Seconds(*warmup),
+		PrepopulateUtil: *prepop,
+		MaxRetries:      *retries,
+	}
+	if *useRED {
+		cfg.Queue = scenario.QueueRED
+	}
+	switch *method {
+	case "eac":
+		d, err := parseDesign(*design)
+		if err != nil {
+			log.Fatal(err)
+		}
+		k, err := parseProber(*prober)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Method = scenario.EAC
+		cfg.AC = admission.Config{Design: d, Kind: k, Eps: *eps, ProbeDur: sim.Seconds(*probeDur)}
+	case "mbac":
+		cfg.Method = scenario.MBAC
+		cfg.MS.Target = *target
+	case "passive":
+		cfg.Method = scenario.Passive
+		cfg.AC.Eps = *eps
+	case "none":
+		cfg.Method = scenario.None
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+
+	mm, err := scenario.RunSeeds(cfg, scenario.DefaultSeeds(*seeds))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := mm.Mean
+	fmt.Printf("scenario : %s %s tau=%.2gs link=%.3gMb/s duration=%.0fs x %d seed(s)\n",
+		*method, *source, *tau, *linkBps/1e6, *duration, *seeds)
+	if cfg.Method == scenario.EAC {
+		fmt.Printf("design   : %s, %s probing, eps=%.3g\n", cfg.AC.Design, cfg.AC.Kind, *eps)
+	}
+	fmt.Printf("util     : %.4f (+/- %.4f across seeds)\n", m.Utilization, mm.UtilStderr)
+	fmt.Printf("loss     : %.3e (+/- %.1e)\n", m.DataLossProb, mm.LossStderr)
+	fmt.Printf("blocking : %.4f over %d decided flows\n", m.BlockingProb, m.Decided)
+	fmt.Printf("probes   : %.4f of the allocated share\n", m.ProbeShare)
+	for _, cm := range m.Classes {
+		if len(m.Classes) > 1 {
+			fmt.Printf("  class %-10s blocking=%.4f loss=%.3e\n", cm.Name, cm.BlockingProb(), cm.LossProb())
+		}
+	}
+	os.Exit(0)
+}

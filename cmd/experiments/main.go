@@ -1,0 +1,91 @@
+// Command experiments regenerates the paper's tables and figures. By
+// default it runs every experiment in quick mode, printing each table and
+// writing CSV files under -out.
+//
+// Examples:
+//
+//	experiments                     # all experiments, quick mode
+//	experiments -run figure2        # one experiment
+//	experiments -paper -seeds 7     # full publication scale (hours)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"eac/internal/experiments"
+	"eac/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		run      = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		paper    = flag.Bool("paper", false, "publication-scale runs (14000 s x 7 seeds; hours of CPU)")
+		seeds    = flag.Int("seeds", 0, "override seed count")
+		duration = flag.Float64("duration", 0, "override run length, seconds")
+		warmup   = flag.Float64("warmup", 0, "override warm-up, seconds")
+		outDir   = flag.String("out", "results", "directory for CSV output (empty = no files)")
+		verbose  = flag.Bool("v", false, "log every completed run")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, ex := range experiments.All() {
+			fmt.Printf("%-10s %s\n", ex.ID, ex.Title)
+		}
+		return
+	}
+
+	opts := experiments.Quick()
+	if *paper {
+		opts = experiments.Paper()
+	}
+	opts.Seeds = *seeds
+	opts.Duration = sim.Seconds(*duration)
+	opts.Warmup = sim.Seconds(*warmup)
+	if *verbose {
+		opts.Progress = func(format string, args ...any) { log.Printf(format, args...) }
+	}
+
+	var todo []experiments.Experiment
+	if *run == "" {
+		todo = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			ex, err := experiments.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				log.Fatal(err)
+			}
+			todo = append(todo, ex)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, ex := range todo {
+		start := time.Now()
+		tbl, err := ex.Run(opts)
+		if err != nil {
+			log.Fatalf("%s: %v", ex.ID, err)
+		}
+		fmt.Println(tbl.String())
+		log.Printf("%s finished in %.1fs", ex.ID, time.Since(start).Seconds())
+		if *outDir != "" {
+			path := filepath.Join(*outDir, ex.ID+".csv")
+			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

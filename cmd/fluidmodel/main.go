@@ -1,0 +1,43 @@
+// Command fluidmodel regenerates Figure 1 of the paper: the analytic
+// thrashing model's utilization and in-band loss versus the mean probe
+// duration. Output is CSV on stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"eac/internal/fluid"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fluidmodel: ")
+	var (
+		lambda = flag.Float64("lambda", 1/0.35, "flow arrival rate, 1/s")
+		life   = flag.Float64("life", 30, "mean flow lifetime, s")
+		capBps = flag.Float64("cap", 10e6, "link capacity, bits/s")
+		rate   = flag.Float64("rate", 128e3, "per-flow rate, bits/s")
+		eps    = flag.Float64("eps", 0, "acceptance threshold")
+		from   = flag.Float64("from", 15, "first probe duration, s")
+		to     = flag.Float64("to", 40, "last probe duration, s")
+		step   = flag.Float64("step", 2.5, "probe duration step, s")
+		maxP   = flag.Int("maxp", 1000, "probing population truncation")
+	)
+	flag.Parse()
+
+	fmt.Println("probe_s,utilization,inband_utilization,inband_loss,blocking,mean_probing,mean_accepted")
+	for tp := *from; tp <= *to+1e-9; tp += *step {
+		res, err := fluid.Solve(fluid.Params{
+			Lambda: *lambda, Tlife: *life, Tprobe: tp,
+			CapBps: *capBps, RateBps: *rate, Eps: *eps, MaxP: *maxP,
+		})
+		if err != nil {
+			log.Fatalf("Tprobe=%.2f: %v", tp, err)
+		}
+		fmt.Printf("%.3f,%.5f,%.5f,%.5e,%.5f,%.2f,%.3f\n",
+			tp, res.Utilization, res.InBandUtilization, res.InBandLoss,
+			res.Blocking, res.MeanProbing, res.MeanAccepted)
+	}
+}

@@ -1,0 +1,173 @@
+// Package eac is a from-scratch reproduction of "Endpoint Admission
+// Control: Architectural Issues and Performance" (Breslau, Knightly,
+// Shenker, Stoica, Zhang — SIGCOMM 2000).
+//
+// Endpoint admission control lets a host decide for itself whether the
+// network can accept a new real-time flow: the host probes the path at the
+// flow's token-bucket rate r, measures the fraction of probe packets lost
+// (or ECN-marked), and admits the flow only if that fraction is at or
+// below a threshold epsilon. Routers keep no per-flow state; they only
+// need DiffServ-style priority queueing with a strict rate limit on the
+// admission-controlled class.
+//
+// The package bundles a packet-level discrete-event network simulator, the
+// paper's four prototype endpoint designs (drop/mark signal x in-band/
+// out-of-band probing) with three probing algorithms (simple, early
+// reject, slow start), the Measured Sum MBAC benchmark, the Table 1
+// traffic sources, a TCP Reno model for the incremental-deployment study,
+// and the analytic thrashing model of Section 2.2.3.
+//
+// # Quick start
+//
+//	cfg := eac.Config{
+//		Method: eac.EAC,
+//		AC: eac.ACConfig{
+//			Design: eac.DropInBand,
+//			Kind:   eac.SlowStart,
+//			Eps:    0.01,
+//		},
+//	}
+//	m, err := eac.Run(cfg)   // paper-scale run: 14000 simulated seconds
+//	fmt.Println(m.Summary()) // util=0.87 loss=7e-03 blocking=0.27 ...
+//
+// See the examples directory for runnable programs and EXPERIMENTS.md for
+// the reproduction of every table and figure in the paper.
+package eac
+
+import (
+	"eac/internal/admission"
+	"eac/internal/fluid"
+	"eac/internal/scenario"
+	"eac/internal/sim"
+	"eac/internal/trafgen"
+)
+
+// Time re-exports the simulator clock type (int64 nanoseconds).
+type Time = sim.Time
+
+// Time units.
+const (
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Seconds converts float seconds to a Time.
+func Seconds(s float64) Time { return sim.Seconds(s) }
+
+// Scenario configuration and results.
+type (
+	// Config describes one experiment: traffic mix, topology, admission
+	// method, and measurement windows.
+	Config = scenario.Config
+	// ClassSpec is one traffic class of the offered mix.
+	ClassSpec = scenario.ClassSpec
+	// LinkSpec describes one congested link.
+	LinkSpec = scenario.LinkSpec
+	// Metrics is a single run's outcome.
+	Metrics = scenario.Metrics
+	// ClassMetrics holds per-class counters.
+	ClassMetrics = scenario.ClassMetrics
+	// MultiMetrics aggregates runs over several seeds.
+	MultiMetrics = scenario.MultiMetrics
+	// TCPShareConfig describes the Section 4.7 legacy-router experiment.
+	TCPShareConfig = scenario.TCPShareConfig
+	// TCPShareResult is its outcome.
+	TCPShareResult = scenario.TCPShareResult
+)
+
+// Admission-control configuration.
+type (
+	// ACConfig parameterizes endpoint probing.
+	ACConfig = admission.Config
+	// Design selects congestion signal and probe band.
+	Design = admission.Design
+	// ProbeResult summarizes one finished probe.
+	ProbeResult = admission.Result
+)
+
+// Admission methods.
+const (
+	// EAC is endpoint admission control.
+	EAC = scenario.EAC
+	// MBAC is the router-based Measured Sum benchmark.
+	MBAC = scenario.MBAC
+	// NoAdmission admits every flow.
+	NoAdmission = scenario.None
+	// PassiveAdmission is the egress-router variant: flows are admitted
+	// on passively monitored recent loss, with no probing delay.
+	PassiveAdmission = scenario.Passive
+)
+
+// Queue disciplines for the admission-controlled class.
+const (
+	// QueuePushout is the default priority queue with probe push-out.
+	QueuePushout = scenario.QueuePushout
+	// QueueRED uses Random Early Detection (in-band designs only).
+	QueueRED = scenario.QueueRED
+)
+
+// The four prototype endpoint designs of Section 3.1.
+var (
+	DropInBand    = admission.DropInBand
+	DropOutOfBand = admission.DropOutOfBand
+	MarkInBand    = admission.MarkInBand
+	MarkOutOfBand = admission.MarkOutOfBand
+	// VDropOutOfBand is the footnote-14 "virtual dropping" design: the
+	// router's virtual queue drops probe packets early instead of
+	// marking them, giving marking-like signals without ECN bits.
+	VDropOutOfBand = admission.VDropOutOfBand
+	// Designs lists the paper's four prototype designs.
+	Designs = admission.Designs
+)
+
+// Probing algorithms.
+const (
+	Simple      = admission.Simple
+	EarlyReject = admission.EarlyReject
+	SlowStart   = admission.SlowStart
+)
+
+// Traffic source presets of Table 1.
+var (
+	EXP1     = trafgen.EXP1
+	EXP2     = trafgen.EXP2
+	EXP3     = trafgen.EXP3
+	EXP4     = trafgen.EXP4
+	POO1     = trafgen.POO1
+	StarWars = trafgen.StarWars
+)
+
+// Preset is a Table 1 traffic source description.
+type Preset = trafgen.Preset
+
+// LookupPreset resolves a preset by name (EXP1..EXP4, POO1, StarWars).
+func LookupPreset(name string) (Preset, error) { return trafgen.Lookup(name) }
+
+// Run executes one scenario and returns its metrics.
+func Run(cfg Config) (Metrics, error) { return scenario.Run(cfg) }
+
+// RunSeeds runs a scenario once per seed and aggregates the results,
+// mirroring the paper's seven-run averaging.
+func RunSeeds(cfg Config, seeds []uint64) (MultiMetrics, error) {
+	return scenario.RunSeeds(cfg, seeds)
+}
+
+// DefaultSeeds returns n deterministic seeds.
+func DefaultSeeds(n int) []uint64 { return scenario.DefaultSeeds(n) }
+
+// RunTCPShare executes the Section 4.7 legacy-router coexistence
+// experiment (Figure 11).
+func RunTCPShare(cfg TCPShareConfig) (TCPShareResult, error) {
+	return scenario.RunTCPShare(cfg)
+}
+
+// Fluid model (Section 2.2.3 / Figure 1).
+type (
+	// FluidParams parameterizes the analytic thrashing model.
+	FluidParams = fluid.Params
+	// FluidResult holds its stationary metrics.
+	FluidResult = fluid.Result
+)
+
+// SolveFluid computes the thrashing model's stationary metrics exactly.
+func SolveFluid(p FluidParams) (FluidResult, error) { return fluid.Solve(p) }

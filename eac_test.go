@@ -1,0 +1,101 @@
+package eac_test
+
+import (
+	"testing"
+
+	"eac"
+)
+
+// facadeCfg is a fast scenario for exercising the public API.
+func facadeCfg() eac.Config {
+	return eac.Config{
+		Method: eac.EAC,
+		AC: eac.ACConfig{
+			Design: eac.DropInBand,
+			Kind:   eac.SlowStart,
+			Eps:    0.01,
+		},
+		InterArrival:    0.35,
+		LifetimeSec:     30,
+		Duration:        200 * eac.Second,
+		Warmup:          40 * eac.Second,
+		PrepopulateUtil: 0.75,
+		Seed:            1,
+	}
+}
+
+func TestPublicRun(t *testing.T) {
+	m, err := eac.Run(facadeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Utilization <= 0 || m.Utilization > 1 {
+		t.Fatalf("utilization = %v", m.Utilization)
+	}
+	if m.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestPublicRunSeeds(t *testing.T) {
+	mm, err := eac.RunSeeds(facadeCfg(), eac.DefaultSeeds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mm.Runs) != 2 {
+		t.Fatalf("runs = %d", len(mm.Runs))
+	}
+}
+
+func TestPublicDesignsAndPresets(t *testing.T) {
+	if len(eac.Designs) != 4 {
+		t.Fatal("expected four designs")
+	}
+	for _, name := range []string{"EXP1", "EXP2", "EXP3", "EXP4", "POO1", "StarWars"} {
+		if _, err := eac.LookupPreset(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eac.LookupPreset("bogus"); err == nil {
+		t.Fatal("bogus preset accepted")
+	}
+	if eac.EXP1.TokenRate != 256e3 || eac.StarWars.PktSize != 200 {
+		t.Fatal("preset re-exports broken")
+	}
+}
+
+func TestPublicFluid(t *testing.T) {
+	res, err := eac.SolveFluid(eac.FluidParams{Tprobe: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Fatalf("fluid utilization = %v", res.Utilization)
+	}
+}
+
+func TestPublicTCPShare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	res, err := eac.RunTCPShare(eac.TCPShareConfig{
+		NumTCP:       3,
+		Eps:          0.02,
+		InterArrival: 1,
+		LifetimeSec:  30,
+		Duration:     120 * eac.Second,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TCPUtil) == 0 {
+		t.Fatal("no samples")
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if eac.Seconds(2.5) != 2500*eac.Millisecond {
+		t.Fatal("Seconds conversion")
+	}
+}

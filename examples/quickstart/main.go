@@ -1,0 +1,55 @@
+// Quickstart: run the paper's basic scenario — EXP1 voice-like sources
+// offered to a 10 Mb/s admission-controlled link, slow-start probing with
+// in-band dropping — and print the three headline metrics.
+//
+// The run is shortened (1000 simulated seconds, warm-started) so it
+// finishes in a few seconds of wall clock; pass no flags, just:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eac"
+)
+
+func main() {
+	cfg := eac.Config{
+		Method: eac.EAC,
+		AC: eac.ACConfig{
+			Design: eac.DropInBand, // probe losses, probes share the data band
+			Kind:   eac.SlowStart,  // ramp r/16 -> r over five 1 s stages
+			Eps:    0.01,           // admit if <= 1% of probes are lost
+		},
+		// Shortened run: seed the stationary flow population instead of
+		// simulating the paper's 2000 s warm-up.
+		Duration:        1000 * eac.Second,
+		Warmup:          200 * eac.Second,
+		PrepopulateUtil: 0.75,
+		Seed:            1,
+	}
+
+	m, err := eac.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Endpoint admission control, basic scenario (EXP1, tau=3.5s)")
+	fmt.Printf("  design            : %s, %s probing, eps=%.2f\n",
+		cfg.AC.Design, cfg.AC.Kind, cfg.AC.Eps)
+	fmt.Printf("  utilization       : %.1f%% of the allocated share (data only)\n", 100*m.Utilization)
+	fmt.Printf("  data packet loss  : %.2e\n", m.DataLossProb)
+	fmt.Printf("  flow blocking     : %.1f%% of %d decided flows\n", 100*m.BlockingProb, m.Decided)
+	fmt.Printf("  probe overhead    : %.1f%% of the share\n", 100*m.ProbeShare)
+	fmt.Println()
+	fmt.Println("Try: a stricter threshold rejects more flows but loses fewer packets.")
+	cfg.AC.Eps = 0
+	m2, err := eac.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  eps=0.00          : util=%.1f%% loss=%.2e blocking=%.1f%%\n",
+		100*m2.Utilization, m2.DataLossProb, 100*m2.BlockingProb)
+}

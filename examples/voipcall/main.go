@@ -1,0 +1,71 @@
+// VoIP admission: the workload the paper's introduction motivates. A
+// carrier sets aside a share of a link for soft real-time calls; handsets
+// are on-off voice sources with silence suppression (EXP1: 256 kb/s talk
+// spurts, 50% activity) and must pass an endpoint probe before a call is
+// accepted.
+//
+// The example compares the four prototype designs at thresholds chosen so
+// each design targets roughly the same admitted load, and prints the
+// trade-off a carrier would look at: answered-call rate versus in-call
+// packet loss versus post-dial delay (the probing time).
+//
+//	go run ./examples/voipcall
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eac"
+)
+
+func main() {
+	type option struct {
+		name   string
+		design eac.Design
+		eps    float64
+	}
+	options := []option{
+		{"drop in-band (simplest router)", eac.DropInBand, 0.01},
+		{"drop out-of-band (3 priorities)", eac.DropOutOfBand, 0.05},
+		{"mark in-band (ECN + vqueue)", eac.MarkInBand, 0.01},
+		{"mark out-of-band (full kit)", eac.MarkOutOfBand, 0.05},
+	}
+
+	fmt.Println("VoIP call admission on a 10 Mb/s share, ~110% offered call load")
+	fmt.Printf("%-34s %9s %11s %11s\n", "design", "answered", "call loss", "dial delay")
+	for _, opt := range options {
+		cfg := eac.Config{
+			Method: eac.EAC,
+			AC: eac.ACConfig{
+				Design: opt.design,
+				Kind:   eac.SlowStart,
+				Eps:    opt.eps,
+			},
+			Classes: []eac.ClassSpec{{
+				Name:   "voip",
+				Preset: eac.EXP1, // talk-spurt voice model
+				Weight: 1,
+				Eps:    -1,
+			}},
+			Duration:        1200 * eac.Second,
+			Warmup:          200 * eac.Second,
+			PrepopulateUtil: 0.75,
+			Seed:            7,
+		}
+		m, err := eac.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Slow-start probes for 5 s (plus a decision guard) before the
+		// call can start: that is the user's post-dial delay.
+		fmt.Printf("%-34s %8.1f%% %11.2e %10.1fs\n",
+			opt.name, 100*(1-m.BlockingProb), m.DataLossProb, 5.2)
+	}
+	fmt.Println()
+	fmt.Println("Reading the table: every design answers a similar share of calls;")
+	fmt.Println("marking and out-of-band probing buy one to two orders of magnitude")
+	fmt.Println("lower in-call loss for the same five-second post-dial delay, at the")
+	fmt.Println("price of extra router mechanism (a third priority level, ECN bits,")
+	fmt.Println("and a virtual queue).")
+}

@@ -1,0 +1,3 @@
+module eac
+
+go 1.22

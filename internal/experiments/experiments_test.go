@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"eac/internal/admission"
+	"eac/internal/sim"
+)
+
+func TestTableString(t *testing.T) {
+	tbl := Table{
+		ID:     "t",
+		Title:  "demo",
+		Header: []string{"a", "long_column"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  "a note",
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "== t: demo ==") {
+		t.Fatalf("missing title: %q", s)
+	}
+	if !strings.Contains(s, "a note") {
+		t.Fatal("missing notes")
+	}
+	// Columns aligned: "333" is wider than header "a".
+	lines := strings.Split(s, "\n")
+	if !strings.HasPrefix(lines[1], "a  ") {
+		t.Fatalf("header alignment: %q", lines[1])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := Table{Header: []string{"x", "y"}, Rows: [][]string{{"1", "2"}}}
+	if got := tbl.CSV(); got != "x,y\n1,2\n" {
+		t.Fatalf("CSV = %q", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		t.Fatalf("expected 14 experiments (9 figures + 4 tables + figure11), got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, ex := range all {
+		if ex.Run == nil || ex.ID == "" {
+			t.Fatalf("malformed experiment %+v", ex)
+		}
+		if seen[ex.ID] {
+			t.Fatalf("duplicate id %s", ex.ID)
+		}
+		seen[ex.ID] = true
+		if _, err := Lookup(ex.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestOptionsModes(t *testing.T) {
+	q := Quick()
+	p := Paper()
+	if len(q.seeds()) != 1 || len(p.seeds()) != 7 {
+		t.Fatalf("seed defaults: quick=%d paper=%d", len(q.seeds()), len(p.seeds()))
+	}
+	if q.duration() != 800*sim.Second || p.duration() != 14000*sim.Second {
+		t.Fatal("duration defaults")
+	}
+	if q.tau(3.5) != 0.35 || p.tau(3.5) != 3.5 {
+		t.Fatal("tau scaling")
+	}
+	q.Seeds = 3
+	if len(q.seeds()) != 3 {
+		t.Fatal("seed override")
+	}
+	q.Duration = 5 * sim.Second
+	if q.duration() != 5*sim.Second {
+		t.Fatal("duration override")
+	}
+}
+
+func TestEpsSweepsMatchPaper(t *testing.T) {
+	p := Paper()
+	in := p.epsFor(admission.DropInBand)
+	out := p.epsFor(admission.MarkOutOfBand)
+	wantIn := []float64{0, 0.01, 0.02, 0.03, 0.04, 0.05}
+	wantOut := []float64{0, 0.05, 0.10, 0.15, 0.20}
+	for i, v := range wantIn {
+		if in[i] != v {
+			t.Fatalf("in-band sweep %v", in)
+		}
+	}
+	for i, v := range wantOut {
+		if out[i] != v {
+			t.Fatalf("out-of-band sweep %v", out)
+		}
+	}
+	if fixedEps(admission.DropInBand) != 0.01 || fixedEps(admission.DropOutOfBand) != 0.05 {
+		t.Fatal("figure 9 fixed thresholds")
+	}
+}
+
+// TestMiniExperimentPipeline runs one real experiment end-to-end at a tiny
+// scale to exercise the full path: scenario building, seeding, metric
+// extraction and table assembly.
+func TestMiniExperimentPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	opts := Quick()
+	opts.Duration = 120 * sim.Second
+	opts.Warmup = 30 * sim.Second
+	var lines int
+	opts.Progress = func(string, ...any) { lines++ }
+	tbl, err := Table3(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("table3 rows = %d, want one per design", len(tbl.Rows))
+	}
+	if lines != 4 {
+		t.Fatalf("progress lines = %d", lines)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatalf("ragged row %v", row)
+		}
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	opts := Quick()
+	tbl, err := Figure1(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 8 {
+		t.Fatalf("too few points: %d", len(tbl.Rows))
+	}
+	// First point healthy, last point collapsed.
+	var first, last float64
+	if _, err := fmt.Sscan(tbl.Rows[0][1], &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscan(tbl.Rows[len(tbl.Rows)-1][1], &last); err != nil {
+		t.Fatal(err)
+	}
+	if first < 0.5 || last > 0.01 {
+		t.Fatalf("figure1 shape: first=%v last=%v", first, last)
+	}
+}

@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"fmt"
+
+	"eac/internal/admission"
+	"eac/internal/fluid"
+	"eac/internal/scenario"
+	"eac/internal/sim"
+	"eac/internal/trafgen"
+)
+
+// Figure1 regenerates the thrashing fluid model curves: utilization and
+// in-band loss probability versus mean probe duration.
+//
+// The model uses a 1 Mb/s link, 128 kb/s flows, 30 s lifetimes and one
+// arrival per 3.5 s (offered load 110%; the caption's 10 Mb/s link would
+// put the offered load at 11% and preclude thrashing entirely). With
+// these consistent parameters the transition sits at
+// Tprobe ~ (C/r)*tau = 27.3 s; the published x-axis (1.8-3.6 s,
+// transition ~2.6 s) corresponds to a 10x higher arrival rate, a pure
+// rescaling of time that the paper itself notes ("similar curves would
+// result if we increased the Poisson arrival rate of flows with a fixed
+// average probe time").
+func Figure1(o Options) (Table, error) {
+	t := Table{
+		ID:     "figure1",
+		Title:  "Thrashing fluid model: utilization and in-band loss vs probe duration",
+		Header: []string{"probe_s", "utilization", "inband_loss", "blocking", "mean_probing"},
+		Notes:  "transition at Tprobe ~ (C/r)*tau = 27.3 s; the paper's 2.6 s x-axis is the same curve at 10x the arrival rate",
+	}
+	maxP := 1500
+	if o.Quick {
+		maxP = 500
+	}
+	for _, tp := range []float64{5, 10, 15, 20, 24, 26, 28, 30, 34, 40} {
+		res, err := fluid.Solve(fluid.Params{Tprobe: tp, MaxP: maxP})
+		if err != nil {
+			return t, fmt.Errorf("figure1 Tprobe=%v: %w", tp, err)
+		}
+		o.logf("figure1 Tp=%.1f util=%.3f loss=%.3f", tp, res.Utilization, res.InBandLoss)
+		t.Rows = append(t.Rows, []string{
+			f2(tp), f(res.Utilization), e(res.InBandLoss), f(res.Blocking), f2(res.MeanProbing),
+		})
+	}
+	return t, nil
+}
+
+// lossLoad appends one loss-load curve (a row per operating point) for
+// every design of the given sweep.
+func (o Options) lossLoad(t *Table, base scenario.Config, kind admission.ProberKind, withMBAC bool) error {
+	for _, d := range admission.Designs {
+		for _, eps := range o.epsFor(d) {
+			cfg := eacCfg(base, d, kind, eps)
+			m, err := o.runPoint(cfg, fmt.Sprintf("%s %s eps=%.2f", t.ID, d, eps))
+			if err != nil {
+				return err
+			}
+			t.Rows = append(t.Rows, []string{
+				d.String(), fmt.Sprintf("%.2f", eps), f(m.Utilization), e(m.DataLossProb), f2(m.BlockingProb),
+			})
+		}
+	}
+	if withMBAC {
+		for _, u := range o.targets() {
+			m, err := o.runPoint(mbacCfg(base, u), fmt.Sprintf("%s MBAC u=%.2f", t.ID, u))
+			if err != nil {
+				return err
+			}
+			t.Rows = append(t.Rows, []string{
+				"MBAC", fmt.Sprintf("%.2f", u), f(m.Utilization), e(m.DataLossProb), f2(m.BlockingProb),
+			})
+		}
+	}
+	return nil
+}
+
+// Figure2 regenerates the basic-scenario loss-load curves: EXP1 sources,
+// tau = 3.5 s, slow-start probing, the four endpoint designs and the MBAC
+// benchmark.
+func Figure2(o Options) (Table, error) {
+	t := Table{
+		ID:     "figure2",
+		Title:  "Basic scenario loss-load curves (EXP1, tau=3.5s, slow-start)",
+		Header: []string{"design", "knob", "utilization", "loss_prob", "blocking"},
+		Notes:  "knob is eps for endpoint designs and the utilization target for MBAC",
+	}
+	base := o.base(3.5)
+	base.Classes = classes1(trafgen.EXP1)
+	if err := o.lossLoad(&t, base, admission.SlowStart, true); err != nil {
+		return t, err
+	}
+	return t, nil
+}
+
+// Figure3 compares 5 s and 25 s slow-start probing for in-band dropping.
+func Figure3(o Options) (Table, error) {
+	t := Table{
+		ID:     "figure3",
+		Title:  "Longer probing (in-band dropping, 5 s vs 25 s slow-start)",
+		Header: []string{"probe_len", "eps", "utilization", "loss_prob", "blocking"},
+	}
+	base := o.base(3.5)
+	base.Classes = classes1(trafgen.EXP1)
+	for _, probeDur := range []sim.Time{5 * sim.Second, 25 * sim.Second} {
+		for _, eps := range o.epsFor(admission.DropInBand) {
+			cfg := eacCfg(base, admission.DropInBand, admission.SlowStart, eps)
+			cfg.AC.ProbeDur = probeDur
+			cfg.AC.StageDur = probeDur / 5
+			m, err := o.runPoint(cfg, fmt.Sprintf("figure3 probe=%v eps=%.2f", probeDur, eps))
+			if err != nil {
+				return t, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%gs", probeDur.Sec()), fmt.Sprintf("%.2f", eps),
+				f(m.Utilization), e(m.DataLossProb), f2(m.BlockingProb),
+			})
+		}
+	}
+	return t, nil
+}
+
+// highLoad regenerates one of Figures 4-7: the design under 400% offered
+// load (tau = 1.0 s) with the three probing algorithms plus the MBAC
+// reference.
+func (o Options) highLoad(id string, d admission.Design) (Table, error) {
+	t := Table{
+		ID:     id,
+		Title:  fmt.Sprintf("High load (tau=1.0s): %s", d),
+		Header: []string{"prober", "knob", "utilization", "loss_prob", "blocking"},
+	}
+	base := o.base(1.0)
+	base.Classes = classes1(trafgen.EXP1)
+	for _, kind := range []admission.ProberKind{admission.Simple, admission.SlowStart, admission.EarlyReject} {
+		for _, eps := range o.epsFor(d) {
+			cfg := eacCfg(base, d, kind, eps)
+			m, err := o.runPoint(cfg, fmt.Sprintf("%s %s eps=%.2f", id, kind, eps))
+			if err != nil {
+				return t, err
+			}
+			t.Rows = append(t.Rows, []string{
+				kind.String(), fmt.Sprintf("%.2f", eps), f(m.Utilization), e(m.DataLossProb), f2(m.BlockingProb),
+			})
+		}
+	}
+	for _, u := range o.targets() {
+		m, err := o.runPoint(mbacCfg(base, u), fmt.Sprintf("%s MBAC u=%.2f", id, u))
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			"MBAC", fmt.Sprintf("%.2f", u), f(m.Utilization), e(m.DataLossProb), f2(m.BlockingProb),
+		})
+	}
+	return t, nil
+}
+
+// Figure4 is high load with in-band dropping.
+func Figure4(o Options) (Table, error) { return o.highLoad("figure4", admission.DropInBand) }
+
+// Figure5 is high load with out-of-band dropping.
+func Figure5(o Options) (Table, error) { return o.highLoad("figure5", admission.DropOutOfBand) }
+
+// Figure6 is high load with in-band marking.
+func Figure6(o Options) (Table, error) { return o.highLoad("figure6", admission.MarkInBand) }
+
+// Figure7 is high load with out-of-band marking.
+func Figure7(o Options) (Table, error) { return o.highLoad("figure7", admission.MarkOutOfBand) }
+
+// robustnessScenario describes one panel of Figure 8.
+type robustnessScenario struct {
+	id    string
+	desc  string
+	tau   float64
+	setup func(*scenario.Config)
+}
+
+func robustnessScenarios() []robustnessScenario {
+	return []robustnessScenario{
+		{"8a", "EXP2: 4x burst rate, same average", 3.5, func(c *scenario.Config) {
+			c.Classes = classes1(trafgen.EXP2)
+		}},
+		{"8b", "EXP3: 2x burst and average", 7.0, func(c *scenario.Config) {
+			c.Classes = classes1(trafgen.EXP3)
+		}},
+		{"8c", "POO1: Pareto on/off (LRD)", 3.5, func(c *scenario.Config) {
+			c.Classes = classes1(trafgen.POO1)
+		}},
+		{"8d", "Synthetic Star Wars trace", 8.0, func(c *scenario.Config) {
+			c.Classes = classes1(trafgen.StarWars)
+		}},
+		{"8e", "Heterogeneous mix", 3.5, func(c *scenario.Config) {
+			c.Classes = []scenario.ClassSpec{
+				{Name: "EXP1", Preset: trafgen.EXP1, Weight: 1, Eps: -1},
+				{Name: "EXP2", Preset: trafgen.EXP2, Weight: 1, Eps: -1},
+				{Name: "EXP4", Preset: trafgen.EXP4, Weight: 1, Eps: -1},
+				{Name: "POO1", Preset: trafgen.POO1, Weight: 1, Eps: -1},
+			}
+		}},
+		{"8f", "Low multiplexing (1 Mb/s link)", 35, func(c *scenario.Config) {
+			c.Classes = classes1(trafgen.EXP1)
+			c.Links = []scenario.LinkSpec{{RateBps: 1e6}}
+		}},
+	}
+}
+
+// Figure8 regenerates the robustness panels: loss-load curves across six
+// load patterns.
+func Figure8(o Options) (Table, error) {
+	t := Table{
+		ID:     "figure8",
+		Title:  "Robustness: loss-load curves across load patterns",
+		Header: []string{"panel", "design", "knob", "utilization", "loss_prob", "blocking"},
+	}
+	for _, rs := range robustnessScenarios() {
+		base := o.base(rs.tau)
+		rs.setup(&base)
+		sub := Table{ID: "figure" + rs.id}
+		if err := o.lossLoad(&sub, base, admission.SlowStart, true); err != nil {
+			return t, err
+		}
+		for _, row := range sub.Rows {
+			t.Rows = append(t.Rows, append([]string{rs.id}, row...))
+		}
+	}
+	return t, nil
+}
+
+// Figure9 regenerates the fixed-threshold comparison: the loss rate of
+// each design at eps=0.01 (in-band) / 0.05 (out-of-band) across all
+// scenarios, exposing the order-of-magnitude spread that makes a priori
+// loss prediction hard.
+func Figure9(o Options) (Table, error) {
+	t := Table{
+		ID:     "figure9",
+		Title:  "Loss at fixed eps across scenarios (0.01 in-band / 0.05 out-of-band)",
+		Header: []string{"scenario", "design", "loss_prob", "utilization"},
+	}
+	type sc struct {
+		name  string
+		tau   float64
+		setup func(*scenario.Config)
+	}
+	scs := []sc{
+		{"EXP1", 3.5, func(c *scenario.Config) { c.Classes = classes1(trafgen.EXP1) }},
+		{"HeavyLoad", 1.0, func(c *scenario.Config) { c.Classes = classes1(trafgen.EXP1) }},
+	}
+	for _, rs := range robustnessScenarios() {
+		rs := rs
+		name := rs.id
+		switch rs.id {
+		case "8a":
+			name = "EXP2"
+		case "8b":
+			name = "EXP3"
+		case "8c":
+			name = "POO1"
+		case "8d":
+			name = "StarWars"
+		case "8e":
+			name = "Heterogeneous"
+		case "8f":
+			name = "LowMux"
+		}
+		scs = append(scs, sc{name, rs.tau, rs.setup})
+	}
+	for _, s := range scs {
+		base := o.base(s.tau)
+		s.setup(&base)
+		for _, d := range admission.Designs {
+			cfg := eacCfg(base, d, admission.SlowStart, fixedEps(d))
+			m, err := o.runPoint(cfg, fmt.Sprintf("figure9 %s %s", s.name, d))
+			if err != nil {
+				return t, err
+			}
+			t.Rows = append(t.Rows, []string{s.name, d.String(), e(m.DataLossProb), f(m.Utilization)})
+		}
+	}
+	return t, nil
+}
+
+// Figure11 regenerates the legacy-router coexistence experiment: TCP
+// utilization against admission-controlled traffic for several eps.
+func Figure11(o Options) (Table, error) {
+	t := Table{
+		ID:     "figure11",
+		Title:  "TCP utilization vs eps at a legacy drop-tail router (20 TCP flows)",
+		Header: []string{"eps", "tcp_util", "ac_util", "ac_blocking"},
+		Notes:  "small eps: TCP-induced loss shuts EAC out; larger eps: roughly fair sharing",
+	}
+	epsList := []float64{0, 0.01, 0.02, 0.03, 0.04, 0.05}
+	if o.Quick {
+		epsList = []float64{0, 0.02, 0.05}
+	}
+	for _, eps := range epsList {
+		cfg := scenario.TCPShareConfig{
+			Eps:          eps,
+			InterArrival: o.tau(3.5),
+			LifetimeSec:  o.lifetime(),
+			Duration:     o.duration() * 2,
+			Seed:         1,
+		}
+		res, err := scenario.RunTCPShare(cfg)
+		if err != nil {
+			return t, fmt.Errorf("figure11 eps=%v: %w", eps, err)
+		}
+		o.logf("figure11 eps=%.2f tcp=%.3f ac=%.3f block=%.3f", eps, res.MeanTCPUtil, res.MeanACUtil, res.ACBlocking)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", eps), f(res.MeanTCPUtil), f(res.MeanACUtil), f2(res.ACBlocking),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import "fmt"
+
+// Experiment couples an identifier with its generator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (Table, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"figure1", "Thrashing fluid model", Figure1},
+		{"figure2", "Basic scenario loss-load curves", Figure2},
+		{"figure3", "Longer probing", Figure3},
+		{"figure4", "High load, in-band dropping", Figure4},
+		{"figure5", "High load, out-of-band dropping", Figure5},
+		{"figure6", "High load, in-band marking", Figure6},
+		{"figure7", "High load, out-of-band marking", Figure7},
+		{"figure8", "Robustness panels", Figure8},
+		{"figure9", "Loss at fixed eps", Figure9},
+		{"table3", "Heterogeneous thresholds", Table3},
+		{"table4", "Large vs small flows", Table4},
+		{"table5", "Multi-hop loss", Table5},
+		{"table6", "Multi-hop blocking", Table6},
+		{"figure11", "TCP coexistence", Figure11},
+	}
+}
+
+// Lookup resolves an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, ex := range All() {
+		if ex.ID == id {
+			return ex, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
+}

@@ -1,0 +1,94 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+)
+
+// bruteSolve computes the stationary distribution by uniformized power
+// iteration over the full (A+1)x(L+1) state space. Used only to validate
+// the level-reduction solver.
+func bruteSolve(p Params) Result {
+	p = p.WithDefaults()
+	n := p.admitLimit()
+	A, L := n, p.MaxP
+	m := A + 1
+	mu, nup, lam := 1/p.Tlife, 1/p.Tprobe, p.Lambda
+	idx := func(a, q int) int { return q*m + a }
+	N := m * (L + 1)
+	// Uniformization constant.
+	Lam := lam + float64(A)*mu + float64(L)*nup + 1
+	pi := make([]float64, N)
+	pi[0] = 1
+	next := make([]float64, N)
+	for iter := 0; iter < 400000; iter++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for q := 0; q <= L; q++ {
+			for a := 0; a <= A; a++ {
+				v := pi[idx(a, q)]
+				if v == 0 {
+					continue
+				}
+				out := 0.0
+				if q < L {
+					rate := lam / Lam
+					next[idx(a, q+1)] += v * rate
+					out += rate
+				}
+				if q > 0 {
+					phi := 1.0
+					if tot := float64(a+q) * p.RateBps; tot > p.CapBps {
+						phi = p.CapBps / tot
+					}
+					rate := float64(q) * nup * phi / Lam
+					ok := a+q <= n
+					if p.DataOnlyAdmission {
+						ok = a+1 <= n
+					}
+					if ok && a+1 <= n {
+						next[idx(a+1, q-1)] += v * rate
+					} else {
+						next[idx(a, q-1)] += v * rate
+					}
+					out += rate
+				}
+				if a > 0 {
+					rate := float64(a) * mu / Lam
+					next[idx(a-1, q)] += v * rate
+					out += rate
+				}
+				next[idx(a, q)] += v * (1 - out)
+			}
+		}
+		pi, next = next, pi
+	}
+	var res Result
+	for q := 0; q <= L; q++ {
+		for a := 0; a <= A; a++ {
+			pr := pi[idx(a, q)]
+			res.MeanAccepted += pr * float64(a)
+			res.MeanProbing += pr * float64(q)
+		}
+	}
+	res.Utilization = res.MeanAccepted * p.RateBps / p.CapBps
+	return res
+}
+
+func TestBruteForceComparison(t *testing.T) {
+	p := Params{CapBps: 512e3, RateBps: 128e3, Lambda: 0.2, Tprobe: 2, Tlife: 10, MaxP: 25}
+	want := bruteSolve(p)
+	got, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("brute: E[a]=%.5f E[p]=%.5f util=%.5f", want.MeanAccepted, want.MeanProbing, want.Utilization)
+	t.Logf("solve: E[a]=%.5f E[p]=%.5f util=%.5f", got.MeanAccepted, got.MeanProbing, got.Utilization)
+	if math.Abs(got.MeanAccepted-want.MeanAccepted) > 1e-3 {
+		t.Fatal("E[a] mismatch")
+	}
+	if math.Abs(got.MeanProbing-want.MeanProbing) > 1e-3 {
+		t.Fatal("E[p] mismatch")
+	}
+}

@@ -1,0 +1,300 @@
+// Package fluid implements the analytic thrashing model of Section 2.2.3
+// and Figure 1 of the paper: a continuous-time Markov chain over states
+// (a, p) where a flows are accepted and p flows are probing. Flows arrive
+// Poisson at rate lambda; accepted flows live for an exponential time with
+// mean Tlife. Probes are exponential in LENGTH (packet transmissions, per
+// Section 2.2.2), so a probe's completion rate is 1/Tprobe scaled by the
+// fluid delivery fraction min(1, C/((a+p)r)): when the link is overloaded,
+// probing slows down, which is precisely the feedback that makes the
+// probing population "accumulate without bound" past the transition and
+// collapses utilization, as the paper describes. Measurement is "perfect":
+// at completion a flow is admitted iff the instantaneous fluid loss
+// fraction ((a+p)r - C)/((a+p)r) is at most eps.
+//
+// The stationary distribution is computed with the GTH (Grassmann-Taksar-
+// Heyman) state-reduction algorithm, which uses no subtractions and is
+// therefore unconditionally stable even deep in the thrashing regime where
+// the probing population piles up against the truncation level. States are
+// ordered level-by-level so elimination never grows the transition
+// bandwidth, keeping the solve O(states x bandwidth^2).
+//
+// Note on Figure 1's caption: the stated parameters (10 Mb/s link,
+// 128 kb/s flows, one arrival per 3.5 s, 30 s lifetimes) give an offered
+// load of ~11% of the link, which cannot produce high utilizations or a
+// thrashing collapse anywhere. With consistent overload parameters the
+// transition sits at Tprobe ~ (C/r)*tau — the probe length at which probe
+// traffic alone saturates the link; its location in probe-time is
+// proportional to the inter-arrival time (the paper notes the equivalence
+// of scaling either axis), so the published 2.4-3.0 s transition
+// corresponds to tau = 0.35 s at C/r = 7.8 flows. One known deviation:
+// below the transition our utilization declines linearly with probe load
+// (lambda*Tprobe*r/C) rather than holding near one; the paper's omitted
+// derivation evidently discounts probe bandwidth in a way the text does
+// not specify. All of the figure's qualitative claims — the sharp
+// transition, the unbounded probing population, the utilization collapse,
+// and in-band loss approaching one — are reproduced; see EXPERIMENTS.md.
+package fluid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params defines the model.
+type Params struct {
+	Lambda  float64 // flow arrival rate, 1/s
+	Tlife   float64 // mean accepted-flow lifetime, s
+	Tprobe  float64 // mean probe duration at full delivery, s
+	CapBps  float64 // link capacity C, bits/s
+	RateBps float64 // per-flow rate r, bits/s
+	Eps     float64 // acceptance threshold
+	MaxP    int     // probing-population truncation level (default 400)
+	// DataOnlyAdmission, if true, makes the perfect measurement at probe
+	// completion gauge only the accepted data load (admit iff a+1 <= N)
+	// instead of the default rule that includes concurrent probe load
+	// (admit iff a+p <= N, the flow's own probe included, which is the
+	// epsilon=0 zero-loss condition for both the in-band and out-of-band
+	// models). The data-only variant is kept as an ablation: it never
+	// thrashes, because admissions continue no matter how many probers
+	// pile up.
+	DataOnlyAdmission bool
+}
+
+// WithDefaults fills unset fields with the Figure 1 values (with the 1 Mb/s
+// capacity correction described in the package comment).
+func (p Params) WithDefaults() Params {
+	if p.Lambda == 0 {
+		p.Lambda = 1.0 / 3.5
+	}
+	if p.Tlife == 0 {
+		p.Tlife = 30
+	}
+	if p.Tprobe == 0 {
+		p.Tprobe = 3.0
+	}
+	if p.CapBps == 0 {
+		p.CapBps = 1e6
+	}
+	if p.RateBps == 0 {
+		p.RateBps = 128e3
+	}
+	if p.MaxP == 0 {
+		p.MaxP = 400
+	}
+	return p
+}
+
+// admitLimit returns N such that a probe succeeds iff a+p <= N.
+func (p Params) admitLimit() int {
+	// ((a+p)r - C)/((a+p)r) <= eps  <=>  (a+p) <= C/((1-eps) r).
+	return int(math.Floor(p.CapBps / ((1 - p.Eps) * p.RateBps)))
+}
+
+// Result holds the model's stationary metrics.
+type Result struct {
+	// Utilization is the accepted ("useful") load E[a]*r/C; for the
+	// out-of-band model it equals the delivered data utilization, and the
+	// paper plots the same utilization for both models.
+	Utilization float64
+	// InBandUtilization is the delivered data utilization when probes
+	// share the data band, E[a*r*min(1, C/((a+p)r))]/C.
+	InBandUtilization float64
+	// InBandLoss is the stationary loss fraction of the in-band packet
+	// stream (data and probes are indistinguishable at the link); the
+	// out-of-band model has no data loss. Past the thrashing transition
+	// it approaches one.
+	InBandLoss float64
+	// DataLoss is the loss fraction weighted by data load only.
+	DataLoss float64
+	// Blocking is the probability that a completing probe is rejected.
+	Blocking float64
+	// MeanAccepted and MeanProbing are E[a] and E[p].
+	MeanAccepted, MeanProbing float64
+}
+
+// Solve computes the stationary distribution and metrics.
+func Solve(p Params) (Result, error) {
+	p = p.WithDefaults()
+	if p.Lambda <= 0 || p.Tlife <= 0 || p.Tprobe <= 0 || p.CapBps <= 0 || p.RateBps <= 0 {
+		return Result{}, fmt.Errorf("fluid: all rates and durations must be positive: %+v", p)
+	}
+	if p.Eps < 0 || p.Eps >= 1 {
+		return Result{}, fmt.Errorf("fluid: eps must be in [0,1): %v", p.Eps)
+	}
+	n := p.admitLimit() // a+p <= n admits; so a ranges 0..n
+	if n < 1 {
+		return Result{}, fmt.Errorf("fluid: capacity below one flow (C=%v r=%v)", p.CapBps, p.RateBps)
+	}
+	A := n      // max accepted population
+	L := p.MaxP // truncation level for p
+	m := A + 1  // states per level
+	N := m * (L + 1)
+	mu, nup, lam := 1/p.Tlife, 1/p.Tprobe, p.Lambda
+
+	// phi is the fluid delivery fraction: the share of its nominal rate a
+	// flow actually pushes through the link.
+	phi := func(a, q int) float64 {
+		tot := float64(a+q) * p.RateBps
+		if tot <= p.CapBps {
+			return 1
+		}
+		return p.CapBps / tot
+	}
+	// admitOK is the perfect-measurement acceptance test applied when a
+	// probe completes in state (a, q) (the prober included in q).
+	admitOK := func(a, q int) bool {
+		if p.DataOnlyAdmission {
+			return a+1 <= n
+		}
+		return a+q <= n
+	}
+
+	// State index: s = q*m + a. Transition offsets: +m (arrival), -1
+	// (departure), -m (probe rejected), -m+1 (probe admitted). All within
+	// bandwidth B = m.
+	B := m
+	W := 2*B + 1 // band window per state: columns s-B .. s+B
+	rates := make([]float64, N*W)
+	at := func(s, d int) *float64 { return &rates[s*W+(d+B)] }
+	for q := 0; q <= L; q++ {
+		for a := 0; a <= A; a++ {
+			s := q*m + a
+			if q < L {
+				*at(s, m) = lam
+			}
+			if a > 0 {
+				*at(s, -1) = float64(a) * mu
+			}
+			if q > 0 {
+				r := float64(q) * nup * phi(a, q)
+				if admitOK(a, q) && a+1 <= A {
+					*at(s, -m+1) = r
+				} else {
+					*at(s, -m) = r
+				}
+			}
+		}
+	}
+
+	// GTH state reduction from the highest state down. Eliminating state
+	// s redirects i -> s -> j through i -> j for i, j < s; because all of
+	// s's neighbours lie within [s-B, s+B] and states above s are already
+	// eliminated, fill-in stays inside the band. denom[s] stores the
+	// total rate out of s to lower states at elimination time.
+	denom := make([]float64, N)
+	for s := N - 1; s >= 1; s-- {
+		lo := s - B
+		if lo < 0 {
+			lo = 0
+		}
+		var total float64
+		for j := lo; j < s; j++ {
+			total += *at(s, j-s)
+		}
+		denom[s] = total
+		if total <= 0 {
+			return Result{}, fmt.Errorf("fluid: state %d has no path to lower states (disconnected chain)", s)
+		}
+		for i := lo; i < s; i++ {
+			rIn := *at(i, s-i)
+			if rIn == 0 {
+				continue
+			}
+			f := rIn / total
+			for j := lo; j < s; j++ {
+				if j == i {
+					continue
+				}
+				if rOut := *at(s, j-s); rOut != 0 {
+					*at(i, j-i) += f * rOut
+				}
+			}
+		}
+	}
+
+	// Back-substitution: unnormalized pi[0] = 1, then
+	// pi[s] = sum_{i<s} pi[i] * rate(i->s) / denom[s], rescaling on the
+	// fly so the thrashing regime (mass growing geometrically with the
+	// level) cannot overflow.
+	pi := make([]float64, N)
+	pi[0] = 1
+	runningMax := 1.0
+	for s := 1; s < N; s++ {
+		lo := s - B
+		if lo < 0 {
+			lo = 0
+		}
+		var v float64
+		for i := lo; i < s; i++ {
+			if r := *at(i, s-i); r != 0 {
+				v += pi[i] * r
+			}
+		}
+		pi[s] = v / denom[s]
+		if pi[s] > runningMax {
+			runningMax = pi[s]
+		}
+		if runningMax > 1e250 {
+			inv := 1 / runningMax
+			for i := 0; i <= s; i++ {
+				pi[i] *= inv
+			}
+			runningMax = 1
+		}
+	}
+	var total float64
+	for _, v := range pi {
+		total += v
+	}
+	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return Result{}, fmt.Errorf("fluid: normalization failed (total=%v)", total)
+	}
+
+	// Metrics.
+	var res Result
+	var accMass, inbandDelivered float64
+	var offered, lost float64         // all in-band packets (data + probes)
+	var dataOffered, dataLost float64 // data only
+	var probeDone, probeRejected float64
+	for q := 0; q <= L; q++ {
+		for a := 0; a <= A; a++ {
+			pr := pi[q*m+a] / total
+			if pr == 0 {
+				continue
+			}
+			res.MeanAccepted += pr * float64(a)
+			res.MeanProbing += pr * float64(q)
+			R := float64(a+q) * p.RateBps
+			dataRate := float64(a) * p.RateBps
+			frac := 0.0
+			if R > p.CapBps {
+				frac = (R - p.CapBps) / R
+			}
+			accMass += pr * dataRate
+			inbandDelivered += pr * dataRate * (1 - frac)
+			offered += pr * R
+			lost += pr * R * frac
+			dataOffered += pr * dataRate
+			dataLost += pr * dataRate * frac
+			if q > 0 {
+				rate := pr * float64(q) * nup * phi(a, q)
+				probeDone += rate
+				if !admitOK(a, q) {
+					probeRejected += rate
+				}
+			}
+		}
+	}
+	res.Utilization = accMass / p.CapBps
+	res.InBandUtilization = inbandDelivered / p.CapBps
+	if offered > 0 {
+		res.InBandLoss = lost / offered
+	}
+	if dataOffered > 0 {
+		res.DataLoss = dataLost / dataOffered
+	}
+	if probeDone > 0 {
+		res.Blocking = probeRejected / probeDone
+	}
+	return res, nil
+}

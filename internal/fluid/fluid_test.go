@@ -1,0 +1,186 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLightLoadAdmitsEverything(t *testing.T) {
+	// Offered load ~11% of a 10 Mb/s link (the figure caption's literal
+	// numbers): essentially no blocking, utilization ~ offered.
+	res, err := Solve(Params{CapBps: 10e6, MaxP: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offered := (30.0 / 3.5) * 128e3 / 10e6
+	if math.Abs(res.Utilization-offered)/offered > 0.02 {
+		t.Fatalf("utilization = %v, want ~%v", res.Utilization, offered)
+	}
+	if res.Blocking > 1e-6 {
+		t.Fatalf("blocking = %v at 11%% load", res.Blocking)
+	}
+	if res.InBandLoss > 1e-9 {
+		t.Fatalf("loss = %v at 11%% load", res.InBandLoss)
+	}
+}
+
+func TestProbabilitiesWellFormed(t *testing.T) {
+	res, err := Solve(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"Utilization": res.Utilization,
+		"InBandUtil":  res.InBandUtilization,
+		"InBandLoss":  res.InBandLoss,
+		"Blocking":    res.Blocking,
+	} {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("%s = %v out of [0,1]", name, v)
+		}
+	}
+	if res.MeanAccepted < 0 || res.MeanProbing < 0 {
+		t.Fatal("negative means")
+	}
+	if res.InBandUtilization > res.Utilization+1e-12 {
+		t.Fatal("in-band delivered more than accepted load")
+	}
+}
+
+func TestThrashingTransition(t *testing.T) {
+	// Figure 1's headline: as the probe duration grows past the point
+	// where probe traffic alone saturates the link (Tprobe ~ (C/r)/lambda
+	// = 27.3 s at the default parameters), the probing population
+	// explodes, utilization collapses to zero, and the in-band loss
+	// fraction approaches one.
+	short, err := Solve(Params{Tprobe: 5, MaxP: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Solve(Params{Tprobe: 40, MaxP: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Utilization < 0.5 {
+		t.Fatalf("pre-transition utilization = %v, want healthy (>0.5)", short.Utilization)
+	}
+	if long.Utilization > 0.01 {
+		t.Fatalf("post-transition utilization = %v, want collapse to ~0", long.Utilization)
+	}
+	if long.MeanProbing < 500 {
+		t.Fatalf("probing population should pile up at the truncation: E[p]=%v", long.MeanProbing)
+	}
+	if long.InBandLoss < 0.9 {
+		t.Fatalf("in-band loss should approach one: %v", long.InBandLoss)
+	}
+	if short.InBandLoss > 0.1 {
+		t.Fatalf("pre-transition loss should be low: %v", short.InBandLoss)
+	}
+}
+
+func TestUtilizationMonotoneInProbeDuration(t *testing.T) {
+	prev := math.Inf(1)
+	for _, tp := range []float64{1.0, 2.0, 3.0, 4.0, 6.0} {
+		res, err := Solve(Params{Tprobe: tp, MaxP: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Utilization > prev+1e-9 {
+			t.Fatalf("utilization rose with longer probes at Tprobe=%v", tp)
+		}
+		prev = res.Utilization
+	}
+}
+
+func TestEpsRaisesAdmitLimit(t *testing.T) {
+	strict, err := Solve(Params{Eps: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Solve(Params{Eps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(loose.Utilization > strict.Utilization) {
+		t.Fatalf("eps=0.1 utilization %v should exceed eps=0 %v",
+			loose.Utilization, strict.Utilization)
+	}
+	if !(loose.InBandLoss > strict.InBandLoss) {
+		t.Fatal("looser threshold should admit into loss")
+	}
+}
+
+func TestAdmitLimitArithmetic(t *testing.T) {
+	p := Params{CapBps: 1e6, RateBps: 128e3, Eps: 0}.WithDefaults()
+	if got := p.admitLimit(); got != 7 {
+		t.Fatalf("admitLimit = %d, want 7 (1e6/128e3 = 7.8)", got)
+	}
+	p.Eps = 0.2 // C/((1-eps)r) = 9.76
+	if got := p.admitLimit(); got != 9 {
+		t.Fatalf("admitLimit with eps=.2 = %d, want 9", got)
+	}
+}
+
+func TestTruncationInsensitivity(t *testing.T) {
+	// In the stable regime the stationary distribution should not care
+	// about the truncation level.
+	a, err := Solve(Params{Tprobe: 1.0, MaxP: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(Params{Tprobe: 1.0, MaxP: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Utilization-b.Utilization) > 1e-3 {
+		t.Fatalf("truncation-sensitive utilization: %v vs %v", a.Utilization, b.Utilization)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(Params{Lambda: -1}); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+	if _, err := Solve(Params{Eps: 1.0}); err == nil {
+		t.Fatal("eps=1 accepted")
+	}
+	if _, err := Solve(Params{CapBps: 1000, RateBps: 128e3}); err == nil {
+		t.Fatal("sub-flow capacity accepted")
+	}
+}
+
+func TestDetailedBalanceSanity(t *testing.T) {
+	// With capacity far above the offered load the chain decouples into
+	// two independent M/M/inf queues: E[p] = lambda*Tprobe and
+	// E[a] = lambda*Tlife (capacity 78 flows vs ~11 occupied).
+	res, err := Solve(Params{CapBps: 10e6, Lambda: 0.5, Tprobe: 2, Tlife: 20, MaxP: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanProbing-1.0) > 0.01 {
+		t.Fatalf("E[p] = %v, want 1.0", res.MeanProbing)
+	}
+	if math.Abs(res.MeanAccepted-10.0) > 0.05 {
+		t.Fatalf("E[a] = %v, want 10", res.MeanAccepted)
+	}
+}
+
+func TestDataOnlyAdmissionNeverThrashes(t *testing.T) {
+	// Ablation: when the perfect measurement gauges only data load,
+	// admissions continue no matter how many probers accumulate, so
+	// there is no utilization collapse even at extreme probe lengths.
+	res, err := Solve(Params{Tprobe: 60, MaxP: 600, DataOnlyAdmission: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization < 0.2 {
+		t.Fatalf("data-only admission collapsed anyway: util=%v", res.Utilization)
+	}
+	withProbes, err := Solve(Params{Tprobe: 60, MaxP: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withProbes.Utilization > 0.01 {
+		t.Fatalf("probe-counting admission should thrash at Tprobe=60: util=%v", withProbes.Utilization)
+	}
+}

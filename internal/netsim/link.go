@@ -1,0 +1,203 @@
+package netsim
+
+import (
+	"fmt"
+
+	"eac/internal/sim"
+)
+
+// LinkStats aggregates per-link packet counters since the last Reset.
+// Data and probe traffic are tracked separately so that the utilization
+// figures exclude probe packets, as in the paper.
+type LinkStats struct {
+	Arrived   [2]int64 // indexed by Kind
+	Dropped   [2]int64
+	Marked    [2]int64
+	SentBits  [2]int64 // bits put on the wire
+	SentPkts  [2]int64
+	ResetTime sim.Time
+}
+
+// Reset clears the counters and records the new measurement epoch.
+func (ls *LinkStats) Reset(now sim.Time) {
+	*ls = LinkStats{ResetTime: now}
+}
+
+// Utilization returns the fraction of the link's capacity used by data
+// packets between the last Reset and now.
+func (ls *LinkStats) Utilization(now sim.Time, rateBps float64) float64 {
+	dt := (now - ls.ResetTime).Sec()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(ls.SentBits[Data]) / (rateBps * dt)
+}
+
+// DataLossProb returns the fraction of arriving data packets dropped since
+// the last Reset.
+func (ls *LinkStats) DataLossProb() float64 {
+	if ls.Arrived[Data] == 0 {
+		return 0
+	}
+	return float64(ls.Dropped[Data]) / float64(ls.Arrived[Data])
+}
+
+// inflight is a packet propagating across a link.
+type inflight struct {
+	at sim.Time
+	p  *Packet
+}
+
+// Link serializes packets at a fixed rate through a queue discipline and
+// delivers them to the packet's next hop after a fixed propagation delay.
+// Per Section 3.2 the rate is the bandwidth allocated to the
+// admission-controlled class, not necessarily the raw wire speed.
+type Link struct {
+	Name    string
+	RateBps float64
+	Delay   sim.Time
+	Q       Discipline
+	Marker  *VirtualQueue // optional ECN shadow queue
+
+	// VQDropProbes selects the paper's footnote-14 "virtual dropping"
+	// behaviour: when the shadow queue would mark a probe packet, the
+	// router drops it instead (no ECN bits needed). Data packets are
+	// still marked, never virtually dropped.
+	VQDropProbes bool
+
+	// OnDrop, if set, observes every dropped packet; the callback owns the
+	// packet (typically returning it to a pool). If nil, drops are
+	// discarded and left to the garbage collector.
+	OnDrop func(now sim.Time, p *Packet)
+
+	// OnArrive, if set, observes every packet arriving at the queue,
+	// before any marking or drop decision. Measurement-based admission
+	// control uses it as its load tap.
+	OnArrive func(now sim.Time, p *Packet)
+
+	Stats LinkStats
+
+	s      *sim.Sim
+	busy   bool
+	txPkt  *Packet
+	txDone *sim.Event
+	pipe   []inflight // ring buffer
+	pipeHd int
+	pipeN  int
+	pipeEv *sim.Event
+}
+
+// NewLink builds a link. The queue discipline q must be non-nil.
+func NewLink(s *sim.Sim, name string, rateBps float64, delay sim.Time, q Discipline) *Link {
+	if rateBps <= 0 {
+		panic("netsim: NewLink requires positive rate")
+	}
+	if q == nil {
+		panic("netsim: NewLink requires a queue discipline")
+	}
+	l := &Link{Name: name, RateBps: rateBps, Delay: delay, Q: q, s: s}
+	l.txDone = sim.NewEvent(l.onTxDone)
+	l.pipeEv = sim.NewEvent(l.onDeliver)
+	return l
+}
+
+func (l *Link) String() string { return fmt.Sprintf("link(%s)", l.Name) }
+
+// Receive implements Receiver: the packet arrives at this link's queue.
+func (l *Link) Receive(now sim.Time, p *Packet) {
+	l.Stats.Arrived[p.Kind]++
+	if l.OnArrive != nil {
+		l.OnArrive(now, p)
+	}
+	if l.Marker != nil && l.Marker.OnArrival(now, p) {
+		if l.VQDropProbes && p.Kind == Probe {
+			l.drop(now, p)
+			return
+		}
+		p.Marked = true
+		l.Stats.Marked[p.Kind]++
+	}
+	if dropped := l.Q.Enqueue(now, p); dropped != nil {
+		l.drop(now, dropped)
+		if dropped == p {
+			return
+		}
+	}
+	if !l.busy {
+		l.startTx(now)
+	}
+}
+
+func (l *Link) drop(now sim.Time, p *Packet) {
+	l.Stats.Dropped[p.Kind]++
+	if l.OnDrop != nil {
+		l.OnDrop(now, p)
+	}
+}
+
+// txTime returns the serialization time of p on this link.
+func (l *Link) txTime(p *Packet) sim.Time {
+	return sim.Time(float64(p.Bits()) / l.RateBps * float64(sim.Second))
+}
+
+func (l *Link) startTx(now sim.Time) {
+	p := l.Q.Dequeue()
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	l.txPkt = p
+	l.s.Schedule(l.txDone, now+l.txTime(p))
+}
+
+func (l *Link) onTxDone(now sim.Time) {
+	p := l.txPkt
+	l.txPkt = nil
+	l.Stats.SentBits[p.Kind] += int64(p.Bits())
+	l.Stats.SentPkts[p.Kind]++
+	// Constant propagation delay keeps deliveries FIFO, so one pending
+	// event suffices for the whole pipe.
+	l.pipePush(inflight{at: now + l.Delay, p: p})
+	if !l.pipeEv.Pending() {
+		l.s.Schedule(l.pipeEv, now+l.Delay)
+	}
+	l.startTx(now)
+}
+
+func (l *Link) pipePush(f inflight) {
+	if l.pipeN == len(l.pipe) {
+		nc := len(l.pipe) * 2
+		if nc == 0 {
+			nc = 16
+		}
+		np := make([]inflight, nc)
+		for i := 0; i < l.pipeN; i++ {
+			np[i] = l.pipe[(l.pipeHd+i)%len(l.pipe)]
+		}
+		l.pipe = np
+		l.pipeHd = 0
+	}
+	l.pipe[(l.pipeHd+l.pipeN)%len(l.pipe)] = f
+	l.pipeN++
+}
+
+func (l *Link) onDeliver(now sim.Time) {
+	for l.pipeN > 0 && l.pipe[l.pipeHd].at <= now {
+		p := l.pipe[l.pipeHd].p
+		l.pipe[l.pipeHd] = inflight{}
+		l.pipeHd = (l.pipeHd + 1) % len(l.pipe)
+		l.pipeN--
+		p.Forward(now)
+	}
+	if l.pipeN > 0 {
+		l.s.Schedule(l.pipeEv, l.pipe[l.pipeHd].at)
+	}
+}
+
+// QueueLen returns the number of packets waiting (excluding any in
+// service).
+func (l *Link) QueueLen() int { return l.Q.Len() }
+
+// Busy reports whether a packet is currently being transmitted.
+func (l *Link) Busy() bool { return l.busy }

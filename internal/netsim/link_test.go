@@ -1,0 +1,170 @@
+package netsim
+
+import (
+	"testing"
+
+	"eac/internal/sim"
+)
+
+// TestLinkSerializationTiming: a 1000-bit packet on a 1 Mb/s link takes
+// 1 ms to serialize plus the propagation delay.
+func TestLinkSerializationTiming(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, "t", 1e6, 5*sim.Millisecond, NewDropTail(10))
+	sink := &countingSink{}
+	p := &Packet{Size: 125, Kind: Data, Band: BandData, Route: []Receiver{l, sink}}
+	Send(0, p)
+	s.RunAll()
+	want := sim.Millisecond + 5*sim.Millisecond
+	if sink.lastAt != want {
+		t.Fatalf("delivered at %v, want %v", sink.lastAt, want)
+	}
+	if l.Stats.SentBits[Data] != 1000 {
+		t.Fatalf("SentBits = %d", l.Stats.SentBits[Data])
+	}
+}
+
+// TestLinkBackToBack: two packets arriving together are serialized in
+// sequence: deliveries at 1ms+d and 2ms+d.
+func TestLinkBackToBack(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, "t", 1e6, 5*sim.Millisecond, NewDropTail(10))
+	sink := &countingSink{}
+	for i := int64(0); i < 2; i++ {
+		Send(0, &Packet{Size: 125, Seq: i, Kind: Data, Band: BandData, Route: []Receiver{l, sink}})
+	}
+	s.RunAll()
+	if sink.n != 2 {
+		t.Fatalf("delivered %d packets", sink.n)
+	}
+	if sink.lastAt != 2*sim.Millisecond+5*sim.Millisecond {
+		t.Fatalf("last delivery at %v", sink.lastAt)
+	}
+	if sink.seqs[0] != 0 || sink.seqs[1] != 1 {
+		t.Fatalf("delivery order %v", sink.seqs)
+	}
+}
+
+// TestLinkThroughputAtSaturation: offered load far above capacity yields
+// deliveries at exactly the link rate and drops for the excess.
+func TestLinkThroughputAtSaturation(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, "t", 1e6, sim.Millisecond, NewDropTail(50))
+	sink := &countingSink{}
+	dropped := 0
+	l.OnDrop = func(sim.Time, *Packet) { dropped++ }
+	// 2x overload: 2000 pps of 125-byte packets for 10 s.
+	var ev *sim.Event
+	n := 0
+	ev = sim.NewEvent(func(now sim.Time) {
+		Send(now, &Packet{Size: 125, Kind: Data, Band: BandData, Route: []Receiver{l, sink}})
+		n++
+		if n < 20000 {
+			s.Schedule(ev, now+sim.Time(float64(sim.Second)/2000))
+		}
+	})
+	s.Schedule(ev, 0)
+	s.RunAll()
+	// Deliveries: ~1000 pps for ~10 s.
+	if sink.n < 9900 || sink.n > 10100 {
+		t.Fatalf("delivered %d packets, want ~10000", sink.n)
+	}
+	if dropped != 20000-sink.n {
+		t.Fatalf("conservation broken: %d delivered + %d dropped != 20000", sink.n, dropped)
+	}
+	util := l.Stats.Utilization(s.Now(), 1e6)
+	if util < 0.98 || util > 1.0 {
+		t.Fatalf("utilization = %v, want ~1", util)
+	}
+	if got := l.Stats.DataLossProb(); got < 0.45 || got > 0.55 {
+		t.Fatalf("loss prob = %v, want ~0.5", got)
+	}
+}
+
+// TestLinkMultiHopRouting: packets traverse two links and arrive after the
+// sum of the delays.
+func TestLinkMultiHopRouting(t *testing.T) {
+	s := sim.New()
+	l1 := NewLink(s, "a", 1e6, 10*sim.Millisecond, NewDropTail(10))
+	l2 := NewLink(s, "b", 1e6, 10*sim.Millisecond, NewDropTail(10))
+	sink := &countingSink{}
+	Send(0, &Packet{Size: 125, Kind: Data, Band: BandData, Route: []Receiver{l1, l2, sink}})
+	s.RunAll()
+	want := 2 * (sim.Millisecond + 10*sim.Millisecond)
+	if sink.lastAt != want {
+		t.Fatalf("arrived at %v, want %v", sink.lastAt, want)
+	}
+	if l1.Stats.SentPkts[Data] != 1 || l2.Stats.SentPkts[Data] != 1 {
+		t.Fatal("per-link counters wrong")
+	}
+}
+
+// TestLinkProbePushoutCounters verifies that with a PriorityPushout queue,
+// data arrivals at a full buffer displace probes and the drop is accounted
+// to the probe.
+func TestLinkProbePushoutCounters(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, "t", 1e3, sim.Millisecond, NewPriorityPushout(2))
+	sink := &countingSink{}
+	// Slow link (1 kb/s): 125-byte packet takes 1 s to serialize, so
+	// everything queues. First packet enters service, next two fill the
+	// buffer.
+	Send(0, &Packet{Size: 125, Kind: Data, Band: BandData, Route: []Receiver{l, sink}})
+	Send(0, &Packet{Size: 125, Kind: Probe, Band: BandProbe, Route: []Receiver{l, sink}})
+	Send(0, &Packet{Size: 125, Kind: Probe, Band: BandProbe, Route: []Receiver{l, sink}})
+	// Data arrival pushes out a probe.
+	Send(0, &Packet{Size: 125, Kind: Data, Band: BandData, Route: []Receiver{l, sink}})
+	if l.Stats.Dropped[Probe] != 1 {
+		t.Fatalf("probe drops = %d, want 1", l.Stats.Dropped[Probe])
+	}
+	if l.Stats.Dropped[Data] != 0 {
+		t.Fatalf("data drops = %d, want 0", l.Stats.Dropped[Data])
+	}
+	s.RunAll()
+	if sink.n != 3 {
+		t.Fatalf("delivered %d, want 3", sink.n)
+	}
+}
+
+func TestLinkStatsReset(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, "t", 1e6, 0, NewDropTail(10))
+	sink := &countingSink{}
+	Send(0, &Packet{Size: 125, Kind: Data, Band: BandData, Route: []Receiver{l, sink}})
+	s.RunAll()
+	l.Stats.Reset(s.Now())
+	if l.Stats.SentBits[Data] != 0 || l.Stats.Arrived[Data] != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	if l.Stats.ResetTime != s.Now() {
+		t.Fatal("Reset epoch wrong")
+	}
+}
+
+func TestLinkConstructorPanics(t *testing.T) {
+	s := sim.New()
+	for _, fn := range []func(){
+		func() { NewLink(s, "x", 0, 0, NewDropTail(1)) },
+		func() { NewLink(s, "x", 1e6, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected constructor panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestPacketForwardEndOfRoute: forwarding past the final hop is a no-op.
+func TestPacketForwardEndOfRoute(t *testing.T) {
+	sink := &countingSink{}
+	p := &Packet{Route: []Receiver{sink}}
+	p.Forward(0)
+	p.Forward(0) // already consumed: must not re-deliver
+	if sink.n != 1 {
+		t.Fatalf("delivered %d times", sink.n)
+	}
+}

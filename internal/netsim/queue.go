@@ -1,0 +1,154 @@
+package netsim
+
+import "eac/internal/sim"
+
+// Discipline is a buffering/scheduling discipline for packets awaiting
+// transmission. Enqueue returns the packet that was dropped as a result of
+// the arrival: nil if the arrival was accepted without loss, the arriving
+// packet itself if it was rejected, or a different (pushed-out) packet if
+// the arrival displaced a lower-priority resident. The current simulation
+// time is supplied for disciplines whose drop decision is time-dependent
+// (RED's idle decay); FIFO disciplines ignore it.
+type Discipline interface {
+	Enqueue(now sim.Time, p *Packet) (dropped *Packet)
+	Dequeue() *Packet
+	Len() int
+}
+
+// fifo is a growable ring buffer of packets.
+type fifo struct {
+	buf  []*Packet
+	head int
+	n    int
+}
+
+func (f *fifo) push(p *Packet) {
+	if f.n == len(f.buf) {
+		f.grow()
+	}
+	f.buf[(f.head+f.n)%len(f.buf)] = p
+	f.n++
+}
+
+func (f *fifo) pop() *Packet {
+	if f.n == 0 {
+		return nil
+	}
+	p := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	return p
+}
+
+// popTail removes the most recently pushed packet.
+func (f *fifo) popTail() *Packet {
+	if f.n == 0 {
+		return nil
+	}
+	i := (f.head + f.n - 1) % len(f.buf)
+	p := f.buf[i]
+	f.buf[i] = nil
+	f.n--
+	return p
+}
+
+func (f *fifo) grow() {
+	nc := len(f.buf) * 2
+	if nc == 0 {
+		nc = 16
+	}
+	nb := make([]*Packet, nc)
+	for i := 0; i < f.n; i++ {
+		nb[i] = f.buf[(f.head+i)%len(f.buf)]
+	}
+	f.buf = nb
+	f.head = 0
+}
+
+// DropTail is a single FIFO with a finite buffer measured in packets.
+type DropTail struct {
+	q   fifo
+	cap int
+}
+
+// NewDropTail returns a drop-tail FIFO holding at most capPackets waiting
+// packets.
+func NewDropTail(capPackets int) *DropTail {
+	if capPackets <= 0 {
+		panic("netsim: NewDropTail requires positive capacity")
+	}
+	return &DropTail{cap: capPackets}
+}
+
+// Enqueue implements Discipline.
+func (d *DropTail) Enqueue(_ sim.Time, p *Packet) *Packet {
+	if d.q.n >= d.cap {
+		return p
+	}
+	d.q.push(p)
+	return nil
+}
+
+// Dequeue implements Discipline.
+func (d *DropTail) Dequeue() *Packet { return d.q.pop() }
+
+// Len implements Discipline.
+func (d *DropTail) Len() int { return d.q.n }
+
+// PriorityPushout is a strict-priority discipline with NumBands bands
+// sharing one buffer of capPackets. Band 0 (data) is served first. When the
+// buffer is full, an arriving data packet pushes out the most recent
+// resident probe packet (paper Section 3.1: "incoming data packets push out
+// resident probe packets if the buffer is full"); an arriving probe packet
+// is dropped.
+type PriorityPushout struct {
+	bands [NumBands]fifo
+	cap   int
+	total int
+}
+
+// NewPriorityPushout returns a two-band priority queue with a shared buffer
+// of capPackets waiting packets.
+func NewPriorityPushout(capPackets int) *PriorityPushout {
+	if capPackets <= 0 {
+		panic("netsim: NewPriorityPushout requires positive capacity")
+	}
+	return &PriorityPushout{cap: capPackets}
+}
+
+// Enqueue implements Discipline.
+func (q *PriorityPushout) Enqueue(_ sim.Time, p *Packet) *Packet {
+	if q.total < q.cap {
+		q.bands[p.Band].push(p)
+		q.total++
+		return nil
+	}
+	// Buffer full: higher-priority arrivals may displace lower-band
+	// residents, scanning from the lowest band upward.
+	for b := NumBands - 1; b > p.Band; b-- {
+		if q.bands[b].n > 0 {
+			victim := q.bands[b].popTail()
+			q.bands[p.Band].push(p)
+			return victim
+		}
+	}
+	return p
+}
+
+// Dequeue implements Discipline.
+func (q *PriorityPushout) Dequeue() *Packet {
+	for b := 0; b < NumBands; b++ {
+		if q.bands[b].n > 0 {
+			q.total--
+			return q.bands[b].pop()
+		}
+	}
+	return nil
+}
+
+// Len implements Discipline.
+func (q *PriorityPushout) Len() int { return q.total }
+
+// BandLen returns the number of waiting packets in one band.
+func (q *PriorityPushout) BandLen(b int) int { return q.bands[b].n }

@@ -1,0 +1,138 @@
+package netsim
+
+import (
+	"testing"
+
+	"eac/internal/sim"
+	"eac/internal/stats"
+)
+
+func TestREDDefaults(t *testing.T) {
+	c := REDConfig{}.WithDefaults(240)
+	if c.MinTh != 20 || c.MaxTh != 60 || c.MaxP != 0.02 || c.Wq != 0.002 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	// Small buffers floor MinTh at 5.
+	c = REDConfig{}.WithDefaults(12)
+	if c.MinTh != 5 || c.MaxTh != 15 {
+		t.Fatalf("small-buffer defaults: %+v", c)
+	}
+}
+
+func TestREDNoDropsBelowMinTh(t *testing.T) {
+	r := NewRED(100, REDConfig{MinTh: 10, MaxTh: 30}, stats.NewRNG(1))
+	// Alternate enqueue/dequeue so the instantaneous queue stays tiny.
+	for i := 0; i < 1000; i++ {
+		if d := r.Enqueue(sim.Time(i)*sim.Millisecond, mkPkt(0, Data, int64(i))); d != nil {
+			t.Fatalf("drop with an always-short queue at %d (avg=%v)", i, r.Avg())
+		}
+		r.Dequeue()
+	}
+}
+
+func TestREDHardLimit(t *testing.T) {
+	r := NewRED(5, REDConfig{MinTh: 100, MaxTh: 200}, stats.NewRNG(1)) // early drops disabled
+	for i := 0; i < 5; i++ {
+		if d := r.Enqueue(0, mkPkt(0, Data, int64(i))); d != nil {
+			t.Fatalf("premature drop at %d", i)
+		}
+	}
+	p := mkPkt(0, Data, 99)
+	if d := r.Enqueue(0, p); d != p {
+		t.Fatal("hard buffer limit not enforced")
+	}
+}
+
+func TestREDEarlyDropsUnderPersistentCongestion(t *testing.T) {
+	r := NewRED(1000, REDConfig{MinTh: 5, MaxTh: 15, MaxP: 0.1}, stats.NewRNG(2))
+	drops := 0
+	// Persistent backlog: enqueue 2, dequeue 1, so the queue builds and
+	// the average crosses the thresholds; RED must drop before the
+	// 1000-packet hard limit is anywhere near.
+	seq := int64(0)
+	for i := 0; i < 3000; i++ {
+		for j := 0; j < 2; j++ {
+			if d := r.Enqueue(sim.Time(i)*sim.Millisecond, mkPkt(0, Data, seq)); d != nil {
+				drops++
+			}
+			seq++
+		}
+		r.Dequeue()
+	}
+	if drops == 0 {
+		t.Fatal("no early drops under persistent congestion")
+	}
+	if r.Len() >= 1000 {
+		t.Fatal("queue hit the hard limit; RED failed to regulate")
+	}
+	if r.Avg() < 5 {
+		t.Fatalf("average %v below MinTh despite persistent congestion", r.Avg())
+	}
+}
+
+func TestREDIdleDecay(t *testing.T) {
+	r := NewRED(100, REDConfig{MinTh: 5, MaxTh: 15, MeanPktTime: sim.Millisecond}, stats.NewRNG(3))
+	// Build up an average.
+	for i := 0; i < 50; i++ {
+		r.Enqueue(0, mkPkt(0, Data, int64(i)))
+	}
+	before := r.Avg()
+	for r.Dequeue() != nil {
+	}
+	// Arrive after a long idle period: the average must have decayed.
+	r.Enqueue(10*sim.Second, mkPkt(0, Data, 999))
+	if r.Avg() >= before {
+		t.Fatalf("no idle decay: %v -> %v", before, r.Avg())
+	}
+	if r.Avg() > 0.1 {
+		t.Fatalf("10 s of idle should nearly zero the average, got %v", r.Avg())
+	}
+}
+
+func TestREDDropsSpacedByCount(t *testing.T) {
+	// With the count correction, drops should be spread rather than
+	// clustered: check that between-drop gaps are never enormous once
+	// the average sits between the thresholds.
+	r := NewRED(10000, REDConfig{MinTh: 1, MaxTh: 1000, MaxP: 0.05}, stats.NewRNG(4))
+	// Pin the average between thresholds with a standing queue.
+	for i := 0; i < 200; i++ {
+		r.Enqueue(0, mkPkt(0, Data, int64(i)))
+	}
+	gaps := []int{}
+	gap := 0
+	for i := 0; i < 5000; i++ {
+		d := r.Enqueue(sim.Second+sim.Time(i)*sim.Millisecond, mkPkt(0, Data, int64(i)))
+		r.Dequeue() // keep the queue length stable
+		if d != nil {
+			gaps = append(gaps, gap)
+			gap = 0
+		} else {
+			gap++
+		}
+	}
+	if len(gaps) < 10 {
+		t.Fatalf("too few early drops: %d", len(gaps))
+	}
+	// The count correction bounds the gap at ~1/pb.
+	for _, g := range gaps[1:] {
+		if g > 2000 {
+			t.Fatalf("drop gap %d far beyond the count bound", g)
+		}
+	}
+}
+
+func TestNewREDPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewRED(0, REDConfig{}, stats.NewRNG(1)) },
+		func() { NewRED(10, REDConfig{}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

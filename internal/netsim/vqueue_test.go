@@ -1,0 +1,174 @@
+package netsim
+
+import (
+	"testing"
+
+	"eac/internal/sim"
+)
+
+func TestVirtualQueueMarksWhenFull(t *testing.T) {
+	// 8000 bits/s = 1000 bytes/s shadow rate, 500-byte shadow buffer.
+	v := NewVirtualQueue(8000, 500)
+	p := &Packet{Size: 200, Band: BandData}
+	// Three arrivals at t=0: 200+200 fit, the third (600 > 500) is marked.
+	if v.OnArrival(0, p) {
+		t.Fatal("first packet marked")
+	}
+	if v.OnArrival(0, p) {
+		t.Fatal("second packet marked")
+	}
+	if !v.OnArrival(0, p) {
+		t.Fatal("third packet should be marked (shadow overflow)")
+	}
+	if v.Backlog(BandData) != 400 {
+		t.Fatalf("backlog = %d, want 400 (marked packet not inserted)", v.Backlog(BandData))
+	}
+}
+
+func TestVirtualQueueDrains(t *testing.T) {
+	v := NewVirtualQueue(8000, 500) // drains 1000 bytes/s
+	p := &Packet{Size: 400, Band: BandData}
+	if v.OnArrival(0, p) {
+		t.Fatal("marked on empty shadow queue")
+	}
+	// 200 ms later, 200 bytes drained: 200 backlog + 400 = 600 > 500 -> mark.
+	if !v.OnArrival(200*sim.Millisecond, p) {
+		t.Fatal("expected mark: insufficient drain")
+	}
+	// 400 ms after t=0 the backlog is 0; fits again.
+	if v.OnArrival(400*sim.Millisecond, p) {
+		t.Fatal("unexpected mark after full drain")
+	}
+}
+
+func TestVirtualQueueDrainsHighPriorityFirst(t *testing.T) {
+	v := NewVirtualQueue(8000, 1000)
+	data := &Packet{Size: 400, Band: BandData}
+	probe := &Packet{Size: 400, Band: BandProbe}
+	v.OnArrival(0, data)
+	v.OnArrival(0, probe)
+	// After 300 ms, 300 bytes drained, all from the data band.
+	v.OnArrival(300*sim.Millisecond, &Packet{Size: 1, Band: BandData})
+	if got := v.Backlog(BandData); got != 101 {
+		t.Fatalf("data backlog = %d, want 101 (100 left + 1 new)", got)
+	}
+	if got := v.Backlog(BandProbe); got != 400 {
+		t.Fatalf("probe backlog = %d, want 400 (untouched)", got)
+	}
+}
+
+func TestVirtualQueueDataEvictsShadowProbes(t *testing.T) {
+	v := NewVirtualQueue(8000, 500)
+	probe := &Packet{Size: 300, Band: BandProbe}
+	data := &Packet{Size: 300, Band: BandData}
+	if v.OnArrival(0, probe) {
+		t.Fatal("probe marked on empty queue")
+	}
+	// Data does not fit (600 > 500) but evicts shadow probe backlog
+	// instead of being marked, mirroring push-out.
+	if v.OnArrival(0, data) {
+		t.Fatal("data should evict shadow probe backlog, not be marked")
+	}
+	if v.Backlog(BandData) != 300 {
+		t.Fatalf("data backlog = %d", v.Backlog(BandData))
+	}
+	if v.Backlog(BandProbe) != 200 {
+		t.Fatalf("probe backlog = %d, want 200 (100 evicted)", v.Backlog(BandProbe))
+	}
+	// An arriving probe in the same situation is marked.
+	if !v.OnArrival(0, probe) {
+		t.Fatal("probe should be marked when the shadow queue is full")
+	}
+}
+
+func TestVirtualQueueMarkRateExceedsRealDropRate(t *testing.T) {
+	// The design intent: the 90%-speed shadow queue congests before the
+	// real queue, so marks lead drops. Drive a real link at 95% of its
+	// rate and verify the shadow marks packets while the real queue
+	// (200-packet buffer) never drops.
+	s := sim.New()
+	q := NewDropTail(200)
+	l := NewLink(s, "t", 1e6, sim.Millisecond, q)
+	l.Marker = NewVirtualQueue(0.9e6, 200*125)
+	sink := &countingSink{}
+	// 950 kb/s of 125-byte packets = 950 pps.
+	n := 0
+	var ev *sim.Event
+	ev = sim.NewEvent(func(now sim.Time) {
+		p := &Packet{Size: 125, Band: BandData, Kind: Data, Route: []Receiver{l, sink}}
+		Send(now, p)
+		n++
+		if n < 5000 {
+			s.Schedule(ev, now+sim.Seconds(125*8/950e3))
+		}
+	})
+	s.Schedule(ev, 0)
+	s.RunAll()
+	if l.Stats.Dropped[Data] != 0 {
+		t.Fatalf("real queue dropped %d packets", l.Stats.Dropped[Data])
+	}
+	if l.Stats.Marked[Data] == 0 {
+		t.Fatal("shadow queue produced no marks at 95% load")
+	}
+	if sink.marked == 0 {
+		t.Fatal("marks did not propagate to delivered packets")
+	}
+}
+
+type countingSink struct {
+	n      int
+	marked int
+	lastAt sim.Time
+	seqs   []int64
+}
+
+func (c *countingSink) Receive(now sim.Time, p *Packet) {
+	c.n++
+	if p.Marked {
+		c.marked++
+	}
+	c.lastAt = now
+	c.seqs = append(c.seqs, p.Seq)
+}
+
+func TestVQDropProbesMode(t *testing.T) {
+	// Footnote 14's router behaviour: when the shadow queue would mark a
+	// probe, drop it instead; data packets are still marked, not dropped.
+	s := sim.New()
+	l := NewLink(s, "vd", 1e6, sim.Millisecond, NewDropTail(200))
+	l.Marker = NewVirtualQueue(0.9e6, 200*125)
+	l.VQDropProbes = true
+	sink := &countingSink{}
+	// Saturate the shadow queue at 95% of the real link with alternating
+	// data and probe packets.
+	n := 0
+	var ev *sim.Event
+	ev = sim.NewEvent(func(now sim.Time) {
+		kind, band := Data, BandData
+		if n%2 == 1 {
+			kind, band = Probe, BandProbe
+		}
+		Send(now, &Packet{Size: 125, Kind: kind, Band: band, Route: []Receiver{l, sink}})
+		n++
+		if n < 10000 {
+			s.Schedule(ev, now+sim.Seconds(125*8/950e3))
+		}
+	})
+	s.Schedule(ev, 0)
+	s.RunAll()
+	if l.Stats.Dropped[Probe] == 0 {
+		t.Fatal("no virtual probe drops at 95% load")
+	}
+	if l.Stats.Marked[Probe] != 0 {
+		t.Fatalf("probes marked (%d) despite VQDropProbes", l.Stats.Marked[Probe])
+	}
+	if l.Stats.Dropped[Data] != 0 {
+		t.Fatalf("data virtually dropped: %d", l.Stats.Dropped[Data])
+	}
+	// Data is never marked here: its 475 kb/s share fits the 900 kb/s
+	// shadow queue, and arriving data evicts shadow probe backlog rather
+	// than being marked — probes absorb all of the congestion signal.
+	if l.Stats.Marked[Data] != 0 {
+		t.Fatalf("data marked (%d) though its own load fits the shadow queue", l.Stats.Marked[Data])
+	}
+}

@@ -1,0 +1,458 @@
+package scenario
+
+import (
+	"fmt"
+
+	"eac/internal/admission"
+	"eac/internal/mbac"
+	"eac/internal/netsim"
+	"eac/internal/sim"
+	"eac/internal/stats"
+	"eac/internal/trafgen"
+)
+
+// flowState tracks one offered flow through its lifecycle.
+type flowState struct {
+	id       int
+	class    int
+	route    []netsim.Receiver
+	prober   *admission.Prober
+	src      trafgen.Source
+	stopEv   *sim.Event
+	counted  bool // decision falls inside the measurement window
+	attempts int  // completed admission attempts (for retries)
+
+	dataSeq           int64
+	winSent, winRecv  int64 // emitted/arrived within the accounting window
+	sentAll, recvdAll int64
+	active            bool
+}
+
+// Runner executes one configured scenario.
+type Runner struct {
+	cfg Config
+	s   *sim.Sim
+
+	links    []*netsim.Link
+	ms       []*mbac.MeasuredSum
+	monitors []*lossMonitor
+	pool     netsim.Pool
+	rngArr   *stats.RNG
+	rngPick  *stats.RNG
+	rngLife  *stats.RNG
+	rngSrc   *stats.RNG
+	rngRetry *stats.RNG
+
+	flows   []*flowState
+	classes []ClassMetrics
+
+	winStart, winEnd sim.Time // packet accounting window
+	decided          int64
+	retries          int64
+
+	// End-to-end data delay statistics over the accounting window:
+	// Welford for the mean plus a 1 ms-bucket histogram for percentiles.
+	delayStats stats.Welford
+	delayHist  [1001]int64 // [i] = delays in [i, i+1) ms; last = overflow
+}
+
+// NewRunner builds (but does not run) a scenario.
+func NewRunner(cfg Config) (*Runner, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		cfg:      cfg,
+		s:        sim.New(),
+		rngArr:   stats.NewStream(cfg.Seed, "arrivals"),
+		rngPick:  stats.NewStream(cfg.Seed, "classpick"),
+		rngLife:  stats.NewStream(cfg.Seed, "lifetimes"),
+		rngSrc:   stats.NewStream(cfg.Seed, "sources"),
+		rngRetry: stats.NewStream(cfg.Seed, "retries"),
+	}
+	r.winStart = cfg.Warmup
+	r.winEnd = cfg.Duration - cfg.Drain
+
+	maxPkt := 0
+	for _, cl := range cfg.Classes {
+		if cl.Preset.PktSize > maxPkt {
+			maxPkt = cl.Preset.PktSize
+		}
+	}
+
+	for i, ls := range cfg.Links {
+		var q netsim.Discipline
+		switch cfg.Queue {
+		case QueueRED:
+			q = netsim.NewRED(ls.BufferPkts, netsim.REDConfig{
+				MeanPktTime: sim.Time(float64(maxPkt*8) / ls.RateBps * float64(sim.Second)),
+			}, stats.NewStream(cfg.Seed, fmt.Sprintf("red-%d", i)))
+		default:
+			q = netsim.NewPriorityPushout(ls.BufferPkts)
+		}
+		l := netsim.NewLink(r.s, linkName(i), ls.RateBps, ls.Delay, q)
+		l.OnDrop = func(now sim.Time, p *netsim.Packet) { r.pool.Put(p) }
+		if cfg.Method == EAC {
+			switch cfg.AC.Design.Signal {
+			case admission.Mark:
+				l.Marker = netsim.NewVirtualQueue(cfg.VQFactor*ls.RateBps, int64(ls.BufferPkts*maxPkt))
+			case admission.VDrop:
+				l.Marker = netsim.NewVirtualQueue(cfg.VQFactor*ls.RateBps, int64(ls.BufferPkts*maxPkt))
+				l.VQDropProbes = true
+			}
+		}
+		r.links = append(r.links, l)
+		switch cfg.Method {
+		case MBAC:
+			m := mbac.New(ls.RateBps, cfg.MS)
+			l.OnArrive = m.Tap()
+			r.ms = append(r.ms, m)
+		case Passive:
+			lm := newLossMonitor(cfg.PV.WindowSec)
+			l.OnArrive = func(now sim.Time, p *netsim.Packet) { lm.onArrive(now) }
+			l.OnDrop = func(now sim.Time, p *netsim.Packet) {
+				lm.onDrop(now)
+				r.pool.Put(p)
+			}
+			r.monitors = append(r.monitors, lm)
+		}
+	}
+	r.classes = make([]ClassMetrics, len(cfg.Classes))
+	for i := range r.classes {
+		r.classes[i].Name = cfg.Classes[i].Name
+	}
+	return r, nil
+}
+
+func linkName(i int) string { return fmt.Sprintf("L%d", i) }
+
+// Run executes the scenario and returns its metrics.
+func (r *Runner) Run() Metrics {
+	// Warmup boundary: reset link counters.
+	r.s.Call(r.cfg.Warmup, func(now sim.Time) {
+		for _, l := range r.links {
+			l.Stats.Reset(now)
+		}
+	})
+	r.prepopulate()
+	r.scheduleNextArrival(0)
+	r.s.Run(r.cfg.Duration)
+	return r.metrics()
+}
+
+// prepopulate seeds already-admitted flows per Config.PrepopulateUtil.
+func (r *Runner) prepopulate() {
+	if r.cfg.PrepopulateUtil <= 0 {
+		return
+	}
+	var avg, wsum float64
+	for _, cl := range r.cfg.Classes {
+		avg += cl.Weight * cl.Preset.AvgRate
+		wsum += cl.Weight
+	}
+	avg /= wsum
+	n := int(r.cfg.PrepopulateUtil*r.cfg.Links[0].RateBps/avg + 0.5)
+	for i := 0; i < n; i++ {
+		class := r.pickClass()
+		f := &flowState{id: len(r.flows), class: class}
+		r.flows = append(r.flows, f)
+		for _, li := range r.path(class) {
+			f.route = append(f.route, r.links[li])
+		}
+		f.route = append(f.route, (*sinkRecv)(r))
+		f.active = true
+		r.startData(0, f)
+	}
+}
+
+// Sim exposes the underlying simulator (for tests and composition).
+func (r *Runner) Sim() *sim.Sim { return r.s }
+
+func (r *Runner) scheduleNextArrival(now sim.Time) {
+	gap := sim.Seconds(r.rngArr.Exp(r.cfg.InterArrival))
+	at := now + gap
+	if at >= r.cfg.Duration {
+		return
+	}
+	r.s.Call(at, r.onFlowArrival)
+}
+
+// pickClass samples a class index by weight.
+func (r *Runner) pickClass() int {
+	total := 0.0
+	for _, cl := range r.cfg.Classes {
+		total += cl.Weight
+	}
+	x := r.rngPick.Float64() * total
+	for i, cl := range r.cfg.Classes {
+		x -= cl.Weight
+		if x < 0 {
+			return i
+		}
+	}
+	return len(r.cfg.Classes) - 1
+}
+
+// path returns a class's link path (defaulting to link 0).
+func (r *Runner) path(class int) []int {
+	p := r.cfg.Classes[class].Path
+	if len(p) == 0 {
+		return []int{0}
+	}
+	return p
+}
+
+func (r *Runner) onFlowArrival(now sim.Time) {
+	r.scheduleNextArrival(now)
+
+	class := r.pickClass()
+	cl := r.cfg.Classes[class]
+	f := &flowState{id: len(r.flows), class: class}
+	r.flows = append(r.flows, f)
+	// Route: the congested links of the class path, terminating at the
+	// shared sink (the runner itself).
+	for _, li := range r.path(class) {
+		f.route = append(f.route, r.links[li])
+	}
+	f.route = append(f.route, (*sinkRecv)(r))
+
+	switch r.cfg.Method {
+	case MBAC:
+		hops := make([]*mbac.MeasuredSum, 0, len(r.path(class)))
+		for _, li := range r.path(class) {
+			hops = append(hops, r.ms[li])
+		}
+		r.recordDecision(now, f, mbac.AdmitPath(now, cl.Preset.TokenRate, hops))
+		if flowAccepted(f) {
+			r.startData(now, f)
+		}
+	case Passive:
+		admitted := true
+		for _, li := range r.path(class) {
+			if r.monitors[li].Estimate(now) > r.cfg.AC.Eps {
+				admitted = false
+				break
+			}
+		}
+		r.recordDecision(now, f, admitted)
+		if admitted {
+			r.startData(now, f)
+		}
+	case None:
+		r.recordDecision(now, f, true)
+		r.startData(now, f)
+	default: // EAC
+		r.startProbe(now, f)
+	}
+}
+
+// startProbe launches (or relaunches, on retry) a flow's admission probe.
+func (r *Runner) startProbe(now sim.Time, f *flowState) {
+	cl := r.cfg.Classes[f.class]
+	ac := r.cfg.AC
+	if cl.Eps >= 0 {
+		ac.Eps = cl.Eps
+	}
+	f.prober = admission.NewProber(r.s, ac, f.id, cl.Preset.TokenRate, cl.Preset.PktSize,
+		f.route, &r.pool, func(res admission.Result) {
+			at := r.s.Now()
+			f.attempts++
+			if res.Accepted {
+				r.recordDecision(at, f, true)
+				r.startData(at, f)
+				return
+			}
+			// Footnote 10: rejected flows retry with exponential back-off.
+			if f.attempts <= r.cfg.MaxRetries {
+				backoff := r.cfg.RetryBackoffSec * float64(int64(1)<<uint(f.attempts-1))
+				delay := sim.Seconds(backoff * r.rngRetry.Uniform(0.5, 1.5))
+				if at+delay < r.cfg.Duration {
+					r.retries++
+					r.s.Call(at+delay, func(t sim.Time) { r.startProbe(t, f) })
+					return
+				}
+			}
+			r.recordDecision(at, f, false)
+		})
+	f.prober.Start(now)
+}
+
+// flowAccepted reports whether the decision recorded the flow as accepted.
+func flowAccepted(f *flowState) bool { return f.active }
+
+// recordDecision books the admission outcome; accepted flows are marked
+// active (data not yet started).
+func (r *Runner) recordDecision(now sim.Time, f *flowState, accepted bool) {
+	f.active = accepted
+	if now < r.winStart || now > r.winEnd {
+		return
+	}
+	f.counted = true
+	r.decided++
+	cm := &r.classes[f.class]
+	cm.Arrived++
+	if accepted {
+		cm.Accepted++
+	} else {
+		cm.Blocked++
+	}
+}
+
+// startData begins the admitted flow's data phase and schedules its death.
+func (r *Runner) startData(now sim.Time, f *flowState) {
+	cl := r.cfg.Classes[f.class]
+	f.src = cl.Preset.New(r.s, r.rngSrc, func(at sim.Time, size int) { r.emitData(at, f, size) })
+	f.src.Start(now)
+	life := sim.Seconds(r.rngLife.Exp(r.cfg.LifetimeSec))
+	f.stopEv = r.s.Call(now+life, func(sim.Time) {
+		f.src.Stop()
+		f.active = false
+	})
+}
+
+func (r *Runner) emitData(now sim.Time, f *flowState, size int) {
+	pk := r.pool.Get()
+	pk.FlowID = f.id
+	pk.Kind = netsim.Data
+	pk.Band = netsim.BandData
+	pk.Size = size
+	pk.Seq = f.dataSeq
+	pk.Route = f.route
+	f.dataSeq++
+	f.sentAll++
+	if now >= r.winStart && now <= r.winEnd {
+		f.winSent++
+	}
+	netsim.Send(now, pk)
+}
+
+// sinkRecv adapts the runner as the terminating Receiver of all routes.
+type sinkRecv Runner
+
+// Receive implements netsim.Receiver.
+func (k *sinkRecv) Receive(now sim.Time, p *netsim.Packet) {
+	r := (*Runner)(k)
+	f := r.flows[p.FlowID]
+	if p.Kind == netsim.Probe {
+		if f.prober != nil {
+			f.prober.OnProbeArrival(now, p)
+		}
+	} else {
+		f.recvdAll++
+		if p.SentAt >= r.winStart && p.SentAt <= r.winEnd {
+			f.winRecv++
+			d := now - p.SentAt
+			r.delayStats.Add(d.Sec())
+			ms := int(d / sim.Millisecond)
+			if ms >= len(r.delayHist) {
+				ms = len(r.delayHist) - 1
+			}
+			r.delayHist[ms]++
+		}
+	}
+	r.pool.Put(p)
+}
+
+func (r *Runner) metrics() Metrics {
+	var m Metrics
+	m.Classes = make([]ClassMetrics, len(r.classes))
+	copy(m.Classes, r.classes)
+	var sent, lost int64
+	for _, f := range r.flows {
+		s, rc := f.winSent, f.winRecv
+		if rc > s {
+			rc = s // clock-edge packets; never count negative loss
+		}
+		m.Classes[f.class].DataSent += s
+		m.Classes[f.class].DataLost += s - rc
+		sent += s
+		lost += s - rc
+	}
+	if sent > 0 {
+		m.DataLossProb = float64(lost) / float64(sent)
+	}
+	var blocked int64
+	for _, cm := range m.Classes {
+		blocked += cm.Blocked
+	}
+	if r.decided > 0 {
+		m.BlockingProb = float64(blocked) / float64(r.decided)
+	}
+	m.Decided = r.decided
+	m.Retries = r.retries
+	m.MeanDelaySec = r.delayStats.Mean()
+	m.P99DelaySec = r.delayPercentile(0.99)
+	now := r.s.Now()
+	m.Links = make([]LinkMetrics, len(r.links))
+	for i, l := range r.links {
+		dt := (now - l.Stats.ResetTime).Sec()
+		var lm LinkMetrics
+		if dt > 0 {
+			lm.Utilization = float64(l.Stats.SentBits[netsim.Data]) / (l.RateBps * dt)
+			lm.ProbeShare = float64(l.Stats.SentBits[netsim.Probe]) / (l.RateBps * dt)
+		}
+		if a := l.Stats.Arrived[netsim.Data]; a > 0 {
+			lm.DataLossProb = float64(l.Stats.Dropped[netsim.Data]) / float64(a)
+		}
+		if a := l.Stats.Arrived[netsim.Probe]; a > 0 {
+			lm.ProbeLossProb = float64(l.Stats.Dropped[netsim.Probe]) / float64(a)
+		}
+		m.Links[i] = lm
+	}
+	m.Utilization = m.Links[0].Utilization
+	m.ProbeShare = m.Links[0].ProbeShare
+	return m
+}
+
+// delayPercentile reads the q-quantile from the millisecond histogram
+// (upper bucket edge, so the estimate is conservative).
+func (r *Runner) delayPercentile(q float64) float64 {
+	total := r.delayStats.N()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	var cum int64
+	for ms, c := range r.delayHist {
+		cum += c
+		if cum > target {
+			return float64(ms+1) / 1000
+		}
+	}
+	return float64(len(r.delayHist)) / 1000
+}
+
+// Run executes a single scenario run.
+func Run(cfg Config) (Metrics, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return r.Run(), nil
+}
+
+// RunSeeds runs the scenario once per seed and aggregates, mirroring the
+// paper's 7-run averaging.
+func RunSeeds(cfg Config, seeds []uint64) (MultiMetrics, error) {
+	runs := make([]Metrics, 0, len(seeds))
+	for _, sd := range seeds {
+		c := cfg
+		c.Seed = sd
+		m, err := Run(c)
+		if err != nil {
+			return MultiMetrics{}, err
+		}
+		runs = append(runs, m)
+	}
+	return aggregate(runs), nil
+}
+
+// DefaultSeeds returns n deterministic seeds.
+func DefaultSeeds(n int) []uint64 {
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = uint64(0x9E3779B9*(i+1)) + 1
+	}
+	return s
+}

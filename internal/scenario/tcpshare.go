@@ -1,0 +1,239 @@
+package scenario
+
+import (
+	"fmt"
+
+	"eac/internal/admission"
+	"eac/internal/netsim"
+	"eac/internal/sim"
+	"eac/internal/stats"
+	"eac/internal/tcp"
+	"eac/internal/trafgen"
+)
+
+// TCPShareConfig describes the Section 4.7 incremental-deployment
+// experiment: NumTCP long-lived TCP Reno flows share one legacy drop-tail
+// FIFO queue with endpoint admission-controlled traffic (in-band dropping —
+// a legacy router has a single class, so in-band is the only possibility).
+// TCP starts at time zero; admission-controlled flow arrivals begin at
+// ACStart.
+type TCPShareConfig struct {
+	LinkBps    float64  // default 10 Mb/s
+	Delay      sim.Time // default 20 ms
+	BufferPkts int      // default 200
+
+	NumTCP  int        // default 20
+	TCP     tcp.Config // TCP parameters
+	ACStart sim.Time   // default 50 s
+
+	Preset       trafgen.Preset // default EXP1
+	InterArrival float64        // default 3.5 s
+	LifetimeSec  float64        // default 300 s
+	Eps          float64        // acceptance threshold under test
+	AC           admission.Config
+
+	Duration sim.Time // default 14000 s
+	Interval sim.Time // reporting interval (default 10 s)
+	Seed     uint64
+}
+
+// WithDefaults fills unset fields with the paper's values.
+func (c TCPShareConfig) WithDefaults() TCPShareConfig {
+	if c.LinkBps == 0 {
+		c.LinkBps = 10e6
+	}
+	if c.Delay == 0 {
+		c.Delay = 20 * sim.Millisecond
+	}
+	if c.BufferPkts == 0 {
+		c.BufferPkts = 200
+	}
+	if c.NumTCP == 0 {
+		c.NumTCP = 20
+	}
+	if c.ACStart == 0 {
+		c.ACStart = 50 * sim.Second
+	}
+	if c.Preset.Name == "" {
+		c.Preset = trafgen.EXP1
+	}
+	if c.InterArrival == 0 {
+		c.InterArrival = 3.5
+	}
+	if c.LifetimeSec == 0 {
+		c.LifetimeSec = 300
+	}
+	if c.Duration == 0 {
+		c.Duration = 14000 * sim.Second
+	}
+	if c.Interval == 0 {
+		c.Interval = 10 * sim.Second
+	}
+	c.TCP = c.TCP.WithDefaults()
+	c.AC = c.AC.WithDefaults()
+	c.AC.Design = admission.DropInBand
+	c.AC.Eps = c.Eps
+	return c
+}
+
+// TCPShareResult holds the Figure 11 outputs.
+type TCPShareResult struct {
+	// Times and TCPUtil are the reporting-interval series: fraction of
+	// the link capacity used by TCP goodput in each interval.
+	Times   []float64
+	TCPUtil []float64
+	// MeanTCPUtil and MeanACUtil summarize the post-ACStart steady state
+	// (second half of the run).
+	MeanTCPUtil float64
+	MeanACUtil  float64
+	// ACBlocking is the admission-controlled blocking probability.
+	ACBlocking float64
+}
+
+// tcpShareRunner glues the pieces; it reuses the flow bookkeeping shapes of
+// Runner but with one shared legacy FIFO for all traffic.
+type tcpShareRunner struct {
+	cfg  TCPShareConfig
+	s    *sim.Sim
+	link *netsim.Link
+	pool netsim.Pool
+
+	senders []*tcp.Sender
+
+	rngArr, rngLife, rngSrc *stats.RNG
+
+	flows   []*tcpShareFlow
+	arrived int64
+	blocked int64
+
+	acBitsSecondHalf int64 // AC data bits arriving at the sink in the run's second half
+}
+
+type tcpShareFlow struct {
+	id     int
+	prober *admission.Prober
+	src    trafgen.Source
+	route  []netsim.Receiver
+	seq    int64
+}
+
+// RunTCPShare executes the experiment.
+func RunTCPShare(cfg TCPShareConfig) (TCPShareResult, error) {
+	cfg = cfg.WithDefaults()
+	if cfg.NumTCP < 0 || cfg.Eps < 0 {
+		return TCPShareResult{}, fmt.Errorf("scenario: invalid TCP-share config")
+	}
+	r := &tcpShareRunner{
+		cfg:     cfg,
+		s:       sim.New(),
+		rngArr:  stats.NewStream(cfg.Seed, "tcpshare-arrivals"),
+		rngLife: stats.NewStream(cfg.Seed, "tcpshare-lifetimes"),
+		rngSrc:  stats.NewStream(cfg.Seed, "tcpshare-sources"),
+	}
+	// Legacy router: one drop-tail FIFO shared by everything.
+	r.link = netsim.NewLink(r.s, "legacy", cfg.LinkBps, cfg.Delay, netsim.NewDropTail(cfg.BufferPkts))
+	r.link.OnDrop = func(now sim.Time, p *netsim.Packet) { r.pool.Put(p) }
+
+	// TCP flows: IDs -1.. are not needed; they terminate at their own
+	// receivers, so the shared sink never sees them.
+	for i := 0; i < cfg.NumTCP; i++ {
+		sd := tcp.NewSender(r.s, cfg.TCP, i, nil, &r.pool)
+		rc := tcp.NewReceiver(r.s, sd, &r.pool)
+		// Route: the shared legacy link, then the TCP receiver.
+		sd.SetRoute([]netsim.Receiver{r.link, rc})
+		r.senders = append(r.senders, sd)
+		sd.Start(0)
+	}
+
+	// Admission-controlled arrivals start at ACStart.
+	r.s.Call(cfg.ACStart, r.onArrival)
+
+	// Sample TCP goodput per interval.
+	var res TCPShareResult
+	lastAcked := int64(0)
+	intervalBits := cfg.LinkBps * cfg.Interval.Sec()
+	var sampler func(now sim.Time)
+	sampler = func(now sim.Time) {
+		var acked int64
+		for _, sd := range r.senders {
+			acked += sd.AckedSegs
+		}
+		dBits := float64(acked-lastAcked) * float64(cfg.TCP.SegSize*8)
+		lastAcked = acked
+		res.Times = append(res.Times, now.Sec())
+		res.TCPUtil = append(res.TCPUtil, dBits/intervalBits)
+		if now+cfg.Interval <= cfg.Duration {
+			r.s.Call(now+cfg.Interval, sampler)
+		}
+	}
+	r.s.Call(cfg.Interval, sampler)
+
+	r.s.Run(cfg.Duration)
+
+	// Steady-state means over the second half of the run.
+	half := len(res.TCPUtil) / 2
+	var sum float64
+	for _, u := range res.TCPUtil[half:] {
+		sum += u
+	}
+	if n := len(res.TCPUtil) - half; n > 0 {
+		res.MeanTCPUtil = sum / float64(n)
+	}
+	window := cfg.Duration - cfg.Duration/2
+	res.MeanACUtil = float64(r.acBitsSecondHalf) / (cfg.LinkBps * window.Sec())
+	if r.arrived > 0 {
+		res.ACBlocking = float64(r.blocked) / float64(r.arrived)
+	}
+	return res, nil
+}
+
+func (r *tcpShareRunner) onArrival(now sim.Time) {
+	gap := sim.Seconds(r.rngArr.Exp(r.cfg.InterArrival))
+	if now+gap < r.cfg.Duration {
+		r.s.Call(now+gap, r.onArrival)
+	}
+
+	f := &tcpShareFlow{id: len(r.flows)}
+	r.flows = append(r.flows, f)
+	f.route = []netsim.Receiver{r.link, (*tcpShareSink)(r)}
+	r.arrived++
+	f.prober = admission.NewProber(r.s, r.cfg.AC, f.id, r.cfg.Preset.TokenRate, r.cfg.Preset.PktSize,
+		f.route, &r.pool, func(resu admission.Result) {
+			if !resu.Accepted {
+				r.blocked++
+				return
+			}
+			f.src = r.cfg.Preset.New(r.s, r.rngSrc, func(at sim.Time, size int) {
+				pk := r.pool.Get()
+				pk.FlowID = f.id
+				pk.Kind = netsim.Data
+				pk.Band = netsim.BandData
+				pk.Size = size
+				pk.Seq = f.seq
+				pk.Route = f.route
+				f.seq++
+				netsim.Send(at, pk)
+			})
+			f.src.Start(r.s.Now())
+			life := sim.Seconds(r.rngLife.Exp(r.cfg.LifetimeSec))
+			r.s.CallIn(life, func(sim.Time) { f.src.Stop() })
+		})
+	f.prober.Start(now)
+}
+
+// tcpShareSink terminates admission-controlled packets.
+type tcpShareSink tcpShareRunner
+
+// Receive implements netsim.Receiver.
+func (k *tcpShareSink) Receive(now sim.Time, p *netsim.Packet) {
+	r := (*tcpShareRunner)(k)
+	if p.Kind == netsim.Probe {
+		f := r.flows[p.FlowID]
+		if f.prober != nil {
+			f.prober.OnProbeArrival(now, p)
+		}
+	} else if now >= r.cfg.Duration/2 {
+		r.acBitsSecondHalf += int64(p.Bits())
+	}
+	r.pool.Put(p)
+}

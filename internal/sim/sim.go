@@ -1,0 +1,220 @@
+// Package sim provides a minimal, fast, single-threaded discrete-event
+// simulation engine.
+//
+// Time is an int64 count of nanoseconds so that the event queue never
+// compares floating-point values. Components own reusable Event values and
+// reschedule them, so steady-state simulation performs no per-event heap
+// allocation.
+package sim
+
+import "fmt"
+
+// Time is a simulation timestamp or duration in nanoseconds.
+type Time int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a floating-point number of seconds to a Time.
+func Seconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Sec converts t to floating-point seconds.
+func (t Time) Sec() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Sec()) }
+
+// Event is a schedulable callback. An Event value may be scheduled at most
+// once at a time; it can be rescheduled from within its own callback.
+// Events are intended to be embedded in (or owned by) simulation components
+// and reused for their lifetime.
+type Event struct {
+	fn   func(now Time)
+	when Time
+	seq  uint64 // FIFO tie-break among equal timestamps
+	pos  int    // heap index; -1 when not scheduled
+}
+
+// NewEvent returns an event that invokes fn when it fires.
+func NewEvent(fn func(now Time)) *Event {
+	return &Event{fn: fn, pos: -1}
+}
+
+// Pending reports whether the event is currently scheduled.
+func (e *Event) Pending() bool { return e.pos >= 0 }
+
+// When returns the time the event is scheduled for. Only meaningful while
+// Pending.
+func (e *Event) When() Time { return e.when }
+
+// Sim is a discrete-event simulator. The zero value is not usable; call New.
+type Sim struct {
+	now    Time
+	seq    uint64
+	heap   []*Event
+	nRun   uint64 // events executed
+	halted bool
+}
+
+// New returns an empty simulator at time zero.
+func New() *Sim {
+	return &Sim{heap: make([]*Event, 0, 1024)}
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() Time { return s.now }
+
+// Executed returns the number of events executed so far.
+func (s *Sim) Executed() uint64 { return s.nRun }
+
+// Schedule arranges for e to fire at absolute time at. It panics if e is
+// already pending (use Reschedule) or if at precedes the current time.
+func (s *Sim) Schedule(e *Event, at Time) {
+	if e.pos >= 0 {
+		panic("sim: Schedule of pending event")
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("sim: Schedule into the past: at=%v now=%v", at, s.now))
+	}
+	e.when = at
+	e.seq = s.seq
+	s.seq++
+	e.pos = len(s.heap)
+	s.heap = append(s.heap, e)
+	s.up(e.pos)
+}
+
+// ScheduleIn schedules e to fire after delay d.
+func (s *Sim) ScheduleIn(e *Event, d Time) { s.Schedule(e, s.now+d) }
+
+// Reschedule moves a pending event to a new time, or schedules it if it is
+// not pending.
+func (s *Sim) Reschedule(e *Event, at Time) {
+	if e.pos >= 0 {
+		s.remove(e)
+	}
+	s.Schedule(e, at)
+}
+
+// Cancel removes a pending event from the queue. Cancelling a non-pending
+// event is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e.pos >= 0 {
+		s.remove(e)
+	}
+}
+
+// Call schedules a freshly allocated one-shot event. It is intended for
+// infrequent control-plane work (flow arrivals, probe deadlines), not the
+// per-packet fast path.
+func (s *Sim) Call(at Time, fn func(now Time)) *Event {
+	e := NewEvent(fn)
+	s.Schedule(e, at)
+	return e
+}
+
+// CallIn schedules fn to run after delay d.
+func (s *Sim) CallIn(d Time, fn func(now Time)) *Event { return s.Call(s.now+d, fn) }
+
+// Halt stops Run before the next event is dispatched.
+func (s *Sim) Halt() { s.halted = true }
+
+// Run executes events in timestamp order until the queue is empty or the
+// next event is later than until. The clock is left at the time of the last
+// executed event (or at until if no event at/before until remained, so that
+// subsequent Run calls may continue).
+func (s *Sim) Run(until Time) {
+	s.halted = false
+	for len(s.heap) > 0 && !s.halted {
+		e := s.heap[0]
+		if e.when > until {
+			s.now = until
+			return
+		}
+		s.remove(e)
+		s.now = e.when
+		s.nRun++
+		e.fn(e.when)
+	}
+	if !s.halted && s.now < until {
+		s.now = until
+	}
+}
+
+// RunAll executes events until the queue is empty.
+func (s *Sim) RunAll() {
+	s.halted = false
+	for len(s.heap) > 0 && !s.halted {
+		e := s.heap[0]
+		s.remove(e)
+		s.now = e.when
+		s.nRun++
+		e.fn(e.when)
+	}
+}
+
+// Len returns the number of pending events.
+func (s *Sim) Len() int { return len(s.heap) }
+
+// less orders by time, then by scheduling order for determinism.
+func (s *Sim) less(i, j int) bool {
+	a, b := s.heap[i], s.heap[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (s *Sim) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heap[i].pos = i
+	s.heap[j].pos = j
+}
+
+func (s *Sim) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Sim) down(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s.less(l, small) {
+			small = l
+		}
+		if r < n && s.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		s.swap(i, small)
+		i = small
+	}
+}
+
+func (s *Sim) remove(e *Event) {
+	i := e.pos
+	n := len(s.heap) - 1
+	if i != n {
+		s.swap(i, n)
+	}
+	s.heap = s.heap[:n]
+	e.pos = -1
+	if i < n {
+		s.down(i)
+		s.up(i)
+	}
+}

@@ -1,0 +1,116 @@
+// Package stats provides the deterministic random-number machinery,
+// probability distributions, and online estimators used by the simulator.
+//
+// Each stochastic component of a simulation draws from its own named stream,
+// derived from a (seed, stream-label) pair. This keeps components
+// independent: adding a traffic source or changing one algorithm's sampling
+// does not perturb the variates observed by any other component, which is
+// essential for paired comparisons across algorithms (the paper compares
+// five admission-control designs on the same arrival process).
+package stats
+
+import "math"
+
+// splitmix64 is the stream-derivation and seeding PRNG recommended for
+// initializing xoshiro generators.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashLabel folds a stream label into a 64-bit value (FNV-1a).
+func hashLabel(label string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// RNG is a xoshiro256** pseudo-random generator. It is not safe for
+// concurrent use; the simulator is single-threaded by design.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed alone.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	// xoshiro must not be seeded with the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// NewStream returns a generator for the named stream of the given seed.
+// Distinct labels yield statistically independent streams.
+func NewStream(seed uint64, label string) *RNG {
+	x := seed ^ hashLabel(label)
+	return NewRNG(splitmix64(&x))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponential variate with the given mean. The mean must be
+// positive.
+func (r *RNG) Exp(mean float64) float64 {
+	// Avoid log(0): Float64 is in [0,1) so 1-u is in (0,1].
+	u := 1.0 - r.Float64()
+	return -mean * math.Log(u)
+}
+
+// Pareto returns a Pareto variate with shape alpha and the given mean.
+// The mean is finite only for alpha > 1; the scale parameter is
+// xm = mean*(alpha-1)/alpha.
+func (r *RNG) Pareto(alpha, mean float64) float64 {
+	if alpha <= 1 {
+		panic("stats: Pareto mean undefined for alpha <= 1")
+	}
+	xm := mean * (alpha - 1) / alpha
+	u := 1.0 - r.Float64()
+	return xm * math.Pow(u, -1.0/alpha)
+}
+
+// Uniform returns a uniform variate in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }

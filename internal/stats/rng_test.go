@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a := NewStream(7, "arrivals")
+	b := NewStream(7, "lifetimes")
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("different stream labels produced identical first draws")
+	}
+	// Same (seed, label) reproduces.
+	c := NewStream(7, "arrivals")
+	d := NewStream(7, "arrivals")
+	for i := 0; i < 100; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("same stream diverged")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(5)
+	var w Welford
+	for i := 0; i < 200000; i++ {
+		w.Add(r.Float64())
+	}
+	if math.Abs(w.Mean()-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", w.Mean())
+	}
+	// Variance of U(0,1) is 1/12.
+	if math.Abs(w.Var()-1.0/12) > 0.002 {
+		t.Fatalf("uniform variance = %v, want ~%v", w.Var(), 1.0/12)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(11)
+	var w Welford
+	const mean = 3.5
+	for i := 0; i < 200000; i++ {
+		v := r.Exp(mean)
+		if v < 0 {
+			t.Fatalf("negative exponential variate %v", v)
+		}
+		w.Add(v)
+	}
+	if math.Abs(w.Mean()-mean)/mean > 0.02 {
+		t.Fatalf("exp mean = %v, want ~%v", w.Mean(), mean)
+	}
+	// Exponential: stddev == mean.
+	if math.Abs(w.Stddev()-mean)/mean > 0.05 {
+		t.Fatalf("exp stddev = %v, want ~%v", w.Stddev(), mean)
+	}
+}
+
+func TestParetoMeanAndTail(t *testing.T) {
+	r := NewRNG(13)
+	const alpha, mean = 1.8, 2.0
+	xm := mean * (alpha - 1) / alpha
+	var w Welford
+	over := 0
+	const n = 500000
+	for i := 0; i < n; i++ {
+		v := r.Pareto(alpha, mean)
+		if v < xm {
+			t.Fatalf("Pareto variate %v below scale %v", v, xm)
+		}
+		w.Add(v)
+		if v > 10*xm {
+			over++
+		}
+	}
+	if math.Abs(w.Mean()-mean)/mean > 0.05 {
+		t.Fatalf("pareto mean = %v, want ~%v", w.Mean(), mean)
+	}
+	// Tail: P(X > 10 xm) = 10^-alpha.
+	want := math.Pow(10, -alpha)
+	got := float64(over) / n
+	if got < want/2 || got > want*2 {
+		t.Fatalf("tail probability = %v, want ~%v", got, want)
+	}
+}
+
+func TestParetoPanicsOnBadAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for alpha <= 1")
+		}
+	}()
+	NewRNG(1).Pareto(1.0, 5)
+}
+
+func TestIntn(t *testing.T) {
+	r := NewRNG(17)
+	counts := make([]int, 5)
+	for i := 0; i < 50000; i++ {
+		counts[r.Intn(5)]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("Intn(5) bucket %d count %d far from uniform", i, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestUniform(t *testing.T) {
+	r := NewRNG(19)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(23)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %v", p)
+	}
+}
+
+// TestExpQuantiles verifies the exponential inverse-CDF transform against
+// analytic quantiles via testing/quick over the mean parameter.
+func TestExpQuantiles(t *testing.T) {
+	f := func(seed uint64) bool {
+		mean := 0.5 + float64(seed%100)/25 // in [0.5, 4.5)
+		r := NewRNG(seed)
+		below := 0
+		const n = 20000
+		median := mean * math.Ln2
+		for i := 0; i < n; i++ {
+			if r.Exp(mean) < median {
+				below++
+			}
+		}
+		p := float64(below) / n
+		return p > 0.48 && p < 0.52
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package trafgen
+
+import (
+	"fmt"
+
+	"eac/internal/sim"
+	"eac/internal/stats"
+)
+
+// Preset describes one of the paper's Table 1 traffic sources: its token
+// bucket parameters (which are also the probing parameters — hosts probe at
+// the token rate r), packet size, average rate, and a constructor.
+type Preset struct {
+	Name        string
+	TokenRate   float64 // r, bits/s (equals the burst rate for on-off sources)
+	BucketBytes int     // b, bytes
+	PktSize     int     // bytes
+	AvgRate     float64 // long-run average rate, bits/s
+
+	build func(s *sim.Sim, rng *stats.RNG, emit EmitFunc) Source
+}
+
+// New constructs a source instance of this preset.
+func (pr Preset) New(s *sim.Sim, rng *stats.RNG, emit EmitFunc) Source {
+	return pr.build(s, rng, emit)
+}
+
+// Table 1 of the paper. Burst and average rates are bits per second; the
+// on-off sources use 125-byte packets and a 125-byte bucket; the video
+// source uses 200-byte packets reshaped to (800 kb/s, 200 kb).
+var (
+	// EXP1: 256k burst, 500 ms on / 500 ms off, 128k average.
+	EXP1 = Preset{
+		Name: "EXP1", TokenRate: 256e3, BucketBytes: 125, PktSize: 125, AvgRate: 128e3,
+		build: func(s *sim.Sim, rng *stats.RNG, emit EmitFunc) Source {
+			return NewExpOnOff(s, rng, 256e3, 125, 0.5, 0.5, emit)
+		},
+	}
+	// EXP2: 1024k burst, 125 ms on / 875 ms off, 128k average.
+	EXP2 = Preset{
+		Name: "EXP2", TokenRate: 1024e3, BucketBytes: 125, PktSize: 125, AvgRate: 128e3,
+		build: func(s *sim.Sim, rng *stats.RNG, emit EmitFunc) Source {
+			return NewExpOnOff(s, rng, 1024e3, 125, 0.125, 0.875, emit)
+		},
+	}
+	// EXP3: 512k burst, 500 ms on / 500 ms off, 256k average.
+	EXP3 = Preset{
+		Name: "EXP3", TokenRate: 512e3, BucketBytes: 125, PktSize: 125, AvgRate: 256e3,
+		build: func(s *sim.Sim, rng *stats.RNG, emit EmitFunc) Source {
+			return NewExpOnOff(s, rng, 512e3, 125, 0.5, 0.5, emit)
+		},
+	}
+	// EXP4: 256k burst, 5000 ms on / 5000 ms off, 128k average.
+	EXP4 = Preset{
+		Name: "EXP4", TokenRate: 256e3, BucketBytes: 125, PktSize: 125, AvgRate: 128e3,
+		build: func(s *sim.Sim, rng *stats.RNG, emit EmitFunc) Source {
+			return NewExpOnOff(s, rng, 256e3, 125, 5.0, 5.0, emit)
+		},
+	}
+	// POO1: Pareto on/off, shape 1.2, otherwise as EXP1.
+	POO1 = Preset{
+		Name: "POO1", TokenRate: 256e3, BucketBytes: 125, PktSize: 125, AvgRate: 128e3,
+		build: func(s *sim.Sim, rng *stats.RNG, emit EmitFunc) Source {
+			return NewParetoOnOff(s, rng, 256e3, 125, 0.5, 0.5, 1.2, emit)
+		},
+	}
+	// StarWars: synthetic VBR video reshaped by dropping to (800 kb/s,
+	// 200 kb = 25000 bytes), 200-byte packets, standing in for the MPEG
+	// trace used in the paper (see DESIGN.md for the substitution note).
+	StarWars = Preset{
+		Name: "StarWars", TokenRate: 800e3, BucketBytes: 25000, PktSize: 200, AvgRate: 360e3,
+		build: func(s *sim.Sim, rng *stats.RNG, emit EmitFunc) Source {
+			tb := NewTokenBucket(800e3, 25000)
+			return NewVideo(s, rng, 200, tb.Shape(emit))
+		},
+	}
+)
+
+// Presets maps preset names to their definitions.
+var Presets = map[string]Preset{
+	"EXP1":     EXP1,
+	"EXP2":     EXP2,
+	"EXP3":     EXP3,
+	"EXP4":     EXP4,
+	"POO1":     POO1,
+	"StarWars": StarWars,
+}
+
+// Lookup returns the named preset or an error listing valid names.
+func Lookup(name string) (Preset, error) {
+	if p, ok := Presets[name]; ok {
+		return p, nil
+	}
+	return Preset{}, fmt.Errorf("trafgen: unknown preset %q (valid: EXP1 EXP2 EXP3 EXP4 POO1 StarWars)", name)
+}

@@ -1,0 +1,183 @@
+// Package trafgen implements the traffic sources of Table 1 of the paper:
+// exponential and Pareto on-off sources (EXP1-EXP4, POO1), a constant-bit-
+// rate source (used for probe streams), a synthetic self-similar VBR video
+// source standing in for the Star Wars MPEG trace, and the token-bucket
+// reshaper that drops nonconforming packets.
+package trafgen
+
+import (
+	"eac/internal/sim"
+	"eac/internal/stats"
+)
+
+// EmitFunc receives each generated packet as (time, size in bytes). The
+// flow layer wraps it to stamp sequence numbers and routes.
+type EmitFunc func(now sim.Time, size int)
+
+// Source is a packet generator that can be started and stopped. Sources
+// are single-shot per flow: Start begins emission, Stop ends it for good.
+type Source interface {
+	Start(now sim.Time)
+	Stop()
+}
+
+// CBR emits fixed-size packets at a constant bit rate.
+type CBR struct {
+	s       *sim.Sim
+	rateBps float64
+	pktSize int
+	emit    EmitFunc
+	ev      *sim.Event
+	active  bool
+}
+
+// NewCBR returns a constant-bit-rate source.
+func NewCBR(s *sim.Sim, rateBps float64, pktSize int, emit EmitFunc) *CBR {
+	if rateBps <= 0 || pktSize <= 0 {
+		panic("trafgen: NewCBR requires positive rate and packet size")
+	}
+	c := &CBR{s: s, rateBps: rateBps, pktSize: pktSize, emit: emit}
+	c.ev = sim.NewEvent(c.tick)
+	return c
+}
+
+// SetRate changes the emission rate; it takes effect from the next packet.
+func (c *CBR) SetRate(rateBps float64) { c.rateBps = rateBps }
+
+func (c *CBR) interval() sim.Time {
+	return sim.Time(float64(c.pktSize*8) / c.rateBps * float64(sim.Second))
+}
+
+// Start implements Source. The first packet is emitted immediately.
+func (c *CBR) Start(now sim.Time) {
+	if c.active {
+		return
+	}
+	c.active = true
+	c.s.Schedule(c.ev, now)
+}
+
+// Stop implements Source.
+func (c *CBR) Stop() {
+	if !c.active {
+		return
+	}
+	c.active = false
+	c.s.Cancel(c.ev)
+}
+
+func (c *CBR) tick(now sim.Time) {
+	c.emit(now, c.pktSize)
+	c.s.Schedule(c.ev, now+c.interval())
+}
+
+// OnOff alternates between an on state, during which it emits fixed-size
+// packets at the burst rate, and a silent off state. State holding times
+// are drawn from the configured samplers (exponential or Pareto).
+type OnOff struct {
+	s        *sim.Sim
+	burstBps float64
+	pktSize  int
+	onDur    func() float64 // seconds
+	offDur   func() float64
+	emit     EmitFunc
+	rng      *stats.RNG
+
+	ev     *sim.Event // next packet while on, or on-transition while off
+	onEnd  sim.Time
+	on     bool
+	active bool
+}
+
+// NewOnOff builds an on-off source with the given duration samplers.
+func NewOnOff(s *sim.Sim, rng *stats.RNG, burstBps float64, pktSize int, onDur, offDur func() float64, emit EmitFunc) *OnOff {
+	if burstBps <= 0 || pktSize <= 0 {
+		panic("trafgen: NewOnOff requires positive rate and packet size")
+	}
+	o := &OnOff{s: s, rng: rng, burstBps: burstBps, pktSize: pktSize, onDur: onDur, offDur: offDur, emit: emit}
+	o.ev = sim.NewEvent(o.tick)
+	return o
+}
+
+// NewExpOnOff builds an on-off source with exponential on and off times
+// (means in seconds).
+func NewExpOnOff(s *sim.Sim, rng *stats.RNG, burstBps float64, pktSize int, onMean, offMean float64, emit EmitFunc) *OnOff {
+	return NewOnOff(s, rng, burstBps, pktSize,
+		func() float64 { return rng.Exp(onMean) },
+		func() float64 { return rng.Exp(offMean) },
+		emit)
+}
+
+// NewParetoOnOff builds an on-off source with Pareto on and off times with
+// the given shape and means; aggregated, such sources produce long-range-
+// dependent traffic for shape < 2.
+func NewParetoOnOff(s *sim.Sim, rng *stats.RNG, burstBps float64, pktSize int, onMean, offMean, shape float64, emit EmitFunc) *OnOff {
+	return NewOnOff(s, rng, burstBps, pktSize,
+		func() float64 { return rng.Pareto(shape, onMean) },
+		func() float64 { return rng.Pareto(shape, offMean) },
+		emit)
+}
+
+func (o *OnOff) interval() sim.Time {
+	return sim.Time(float64(o.pktSize*8) / o.burstBps * float64(sim.Second))
+}
+
+// Start implements Source. The source begins in the on or off state with
+// probability proportional to the state mean durations, for approximate
+// stationarity from the first packet.
+func (o *OnOff) Start(now sim.Time) {
+	if o.active {
+		return
+	}
+	o.active = true
+	// Estimate state probabilities from single samples of each sampler;
+	// for the exponential case this matches the stationary distribution
+	// in expectation and keeps the code sampler-agnostic.
+	on := o.onDur()
+	off := o.offDur()
+	if o.rng.Bool(on / (on + off)) {
+		o.enterOn(now)
+	} else {
+		o.enterOff(now)
+	}
+}
+
+// Stop implements Source.
+func (o *OnOff) Stop() {
+	if !o.active {
+		return
+	}
+	o.active = false
+	o.s.Cancel(o.ev)
+}
+
+func (o *OnOff) enterOn(now sim.Time) {
+	o.on = true
+	o.onEnd = now + sim.Seconds(o.onDur())
+	o.s.Schedule(o.ev, now) // first packet immediately
+}
+
+func (o *OnOff) enterOff(now sim.Time) {
+	o.on = false
+	o.s.Schedule(o.ev, now+sim.Seconds(o.offDur()))
+}
+
+func (o *OnOff) tick(now sim.Time) {
+	if !o.on {
+		o.enterOn(now)
+		return
+	}
+	if now >= o.onEnd {
+		o.enterOff(now)
+		return
+	}
+	o.emit(now, o.pktSize)
+	next := now + o.interval()
+	if next > o.onEnd {
+		next = o.onEnd // fires the off transition
+	}
+	o.s.Schedule(o.ev, next)
+}
+
+// On reports whether the source is currently in its on state (for tests).
+func (o *OnOff) On() bool { return o.active && o.on }
