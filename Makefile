@@ -1,0 +1,29 @@
+# Tier-1 flow: `make ci` is what a checkin must keep green.
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+# vet runs as part of test so the goroutine code in the sweep engine
+# stays warning-clean alongside the unit suite.
+test: vet
+	$(GO) test ./...
+
+# race exercises the parallel sweep engine and RunSeedsParallel under the
+# race detector; -short keeps the long simulations out so it stays fast.
+# The explicit -timeout covers single-core machines, where the race
+# detector's serialization makes the suite many times slower.
+race:
+	$(GO) test -race -timeout 30m ./internal/... -short
+
+vet:
+	$(GO) vet ./...
+
+# bench regenerates every figure/table (quick mode) and runs the hot-path
+# microbenchmarks; see bench_test.go for flags (-eac.workers, -eac.paper).
+bench:
+	$(GO) test -bench=. -benchmem -timeout 60m
+
+ci: build test race

@@ -3,9 +3,12 @@
 //
 // Each BenchmarkFigure*/BenchmarkTable* run executes the corresponding
 // experiment (quick mode by default), writes its CSV to results/, and logs
-// the regenerated table. The full quick suite takes ~20 minutes on one
-// core — past Go's default 10-minute per-package test timeout — so pass an
-// explicit timeout:
+// the regenerated table. Experiments fan their independent point×seed runs
+// out over all cores (-eac.workers to cap); sequentially the full quick
+// suite takes ~20 minutes on one 2 GHz core and scales near-linearly with
+// cores since every simulator run is independent (results/BENCH_parallel.json
+// records measured numbers). The single-core total is past Go's default
+// 10-minute per-package test timeout, so pass an explicit timeout:
 //
 //	go test -bench=. -benchmem -timeout 60m
 //
@@ -16,7 +19,9 @@ package eac_test
 
 import (
 	"flag"
+	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"eac"
@@ -26,12 +31,20 @@ import (
 )
 
 var (
-	paperScale = flag.Bool("eac.paper", false, "run experiments at publication scale (14000 s x 7 seeds)")
-	benchSeeds = flag.Int("eac.seeds", 0, "override experiment seed count")
-	benchDur   = flag.Float64("eac.duration", 0, "override experiment duration, simulated seconds")
-	benchV     = flag.Bool("eac.v", false, "log every completed experiment run")
+	paperScale   = flag.Bool("eac.paper", false, "run experiments at publication scale (14000 s x 7 seeds)")
+	benchSeeds   = flag.Int("eac.seeds", 0, "override experiment seed count")
+	benchDur     = flag.Float64("eac.duration", 0, "override experiment duration, simulated seconds")
+	benchWorkers = flag.Int("eac.workers", 0, "cap parallel simulator runs (0 = one per core)")
+	benchV       = flag.Bool("eac.v", false, "log every completed experiment run")
 )
 
+// benchOpts assembles experiment options from the bench flags. The
+// -eac.seeds and -eac.duration flags deliberately share the Options
+// zero-value convention: 0 (their default) means "no override, use the
+// mode's default" (1 seed / 800 s quick, 7 seeds / 14000 s paper), so
+// copying them into Options unconditionally is correct. There is no way
+// to request a zero-second run — nor a reason to. Likewise -eac.workers 0
+// means one worker per core.
 func benchOpts(b *testing.B) experiments.Options {
 	opts := experiments.Quick()
 	if *paperScale {
@@ -39,6 +52,7 @@ func benchOpts(b *testing.B) experiments.Options {
 	}
 	opts.Seeds = *benchSeeds
 	opts.Duration = sim.Seconds(*benchDur)
+	opts.Workers = *benchWorkers
 	if *benchV {
 		opts.Progress = func(format string, args ...any) { b.Logf(format, args...) }
 	}
@@ -48,6 +62,7 @@ func benchOpts(b *testing.B) experiments.Options {
 // runExperiment regenerates one figure/table per iteration.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	opts := benchOpts(b)
 	ex, err := experiments.Lookup(id)
 	if err != nil {
@@ -84,11 +99,39 @@ func BenchmarkTable5(b *testing.B)   { runExperiment(b, "table5") }
 func BenchmarkTable6(b *testing.B)   { runExperiment(b, "table6") }
 func BenchmarkFigure11(b *testing.B) { runExperiment(b, "figure11") }
 
+// BenchmarkRunSeedsParallel measures the parallel seed engine on a short
+// basic-scenario sweep at 1, 2, and NumCPU workers. The per-op time is
+// for all seeds together, so ideal scaling shows as a 1/workers ratio
+// (capped by physical cores; see results/BENCH_parallel.json).
+func BenchmarkRunSeedsParallel(b *testing.B) {
+	cfg := eac.Config{
+		Method:          eac.EAC,
+		AC:              eac.ACConfig{Design: eac.DropInBand, Kind: eac.SlowStart, Eps: 0.01},
+		InterArrival:    0.35,
+		LifetimeSec:     30,
+		Duration:        60 * eac.Second,
+		Warmup:          10 * eac.Second,
+		PrepopulateUtil: 0.75,
+	}
+	seeds := eac.DefaultSeeds(8)
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eac.RunSeedsParallel(cfg, seeds, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // Microbenchmarks of the hot paths.
 
 // BenchmarkEventLoop measures raw scheduler throughput: one self-
 // rescheduling event.
 func BenchmarkEventLoop(b *testing.B) {
+	b.ReportAllocs()
 	s := sim.New()
 	n := 0
 	var ev *sim.Event
@@ -106,6 +149,7 @@ func BenchmarkEventLoop(b *testing.B) {
 // BenchmarkLinkForwarding measures the per-packet cost of the full path:
 // enqueue, serialize, propagate, deliver, recycle.
 func BenchmarkLinkForwarding(b *testing.B) {
+	b.ReportAllocs()
 	s := sim.New()
 	var pool netsim.Pool
 	l := netsim.NewLink(s, "bench", 1e9, sim.Millisecond, netsim.NewDropTail(1<<20))
@@ -131,6 +175,7 @@ func (f sinkFunc) Receive(now sim.Time, p *netsim.Packet) { f(now, p) }
 // BenchmarkScenarioSecond measures the wall cost of one simulated second
 // of the basic scenario at steady state.
 func BenchmarkScenarioSecond(b *testing.B) {
+	b.ReportAllocs()
 	cfg := eac.Config{
 		Method: eac.EAC,
 		AC: eac.ACConfig{
@@ -152,6 +197,7 @@ func BenchmarkScenarioSecond(b *testing.B) {
 // BenchmarkFluidSolve measures the analytic model's exact solve at the
 // default truncation.
 func BenchmarkFluidSolve(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := eac.SolveFluid(eac.FluidParams{Tprobe: 3}); err != nil {
 			b.Fatal(err)

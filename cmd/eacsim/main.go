@@ -67,6 +67,7 @@ func main() {
 		warmup   = flag.Float64("warmup", 2000, "discarded warm-up seconds")
 		prepop   = flag.Float64("prepopulate", 0, "seed stationary flows to this utilization (0 = off)")
 		seeds    = flag.Int("seeds", 1, "number of seeds to average")
+		workers  = flag.Int("workers", 0, "parallel seed runs (0 = one per core); results are identical for any value")
 		probeDur = flag.Float64("probe", 5, "total probe duration, seconds")
 		useRED   = flag.Bool("red", false, "use a RED queue instead of drop-tail (in-band designs only)")
 		retries  = flag.Int("retries", 0, "max admission retries with exponential back-off")
@@ -114,7 +115,7 @@ func main() {
 		log.Fatalf("unknown method %q", *method)
 	}
 
-	mm, err := scenario.RunSeeds(cfg, scenario.DefaultSeeds(*seeds))
+	mm, err := scenario.RunSeedsParallel(cfg, scenario.DefaultSeeds(*seeds), *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -31,6 +32,7 @@ func main() {
 		seeds    = flag.Int("seeds", 0, "override seed count")
 		duration = flag.Float64("duration", 0, "override run length, seconds")
 		warmup   = flag.Float64("warmup", 0, "override warm-up, seconds")
+		workers  = flag.Int("workers", 0, "parallel simulator runs (0 = one per core); results are identical for any value")
 		outDir   = flag.String("out", "results", "directory for CSV output (empty = no files)")
 		verbose  = flag.Bool("v", false, "log every completed run")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
@@ -51,6 +53,7 @@ func main() {
 	opts.Seeds = *seeds
 	opts.Duration = sim.Seconds(*duration)
 	opts.Warmup = sim.Seconds(*warmup)
+	opts.Workers = *workers
 	if *verbose {
 		opts.Progress = func(format string, args ...any) { log.Printf(format, args...) }
 	}
@@ -80,7 +83,11 @@ func main() {
 			log.Fatalf("%s: %v", ex.ID, err)
 		}
 		fmt.Println(tbl.String())
-		log.Printf("%s finished in %.1fs", ex.ID, time.Since(start).Seconds())
+		w := *workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		log.Printf("%s finished in %.1fs (%d workers)", ex.ID, time.Since(start).Seconds(), w)
 		if *outDir != "" {
 			path := filepath.Join(*outDir, ex.ID+".csv")
 			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {

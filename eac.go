@@ -147,9 +147,17 @@ func LookupPreset(name string) (Preset, error) { return trafgen.Lookup(name) }
 func Run(cfg Config) (Metrics, error) { return scenario.Run(cfg) }
 
 // RunSeeds runs a scenario once per seed and aggregates the results,
-// mirroring the paper's seven-run averaging.
+// mirroring the paper's seven-run averaging. Runs execute concurrently
+// on up to GOMAXPROCS cores; the aggregate is identical to a sequential
+// execution.
 func RunSeeds(cfg Config, seeds []uint64) (MultiMetrics, error) {
 	return scenario.RunSeeds(cfg, seeds)
+}
+
+// RunSeedsParallel is RunSeeds with an explicit worker count (<= 0 means
+// GOMAXPROCS). Results are bitwise-identical for every worker count.
+func RunSeedsParallel(cfg Config, seeds []uint64, workers int) (MultiMetrics, error) {
+	return scenario.RunSeedsParallel(cfg, seeds, workers)
 }
 
 // DefaultSeeds returns n deterministic seeds.

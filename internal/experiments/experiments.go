@@ -11,6 +11,12 @@
 // flow dynamics tenfold (30 s lifetimes, one tenth the inter-arrival
 // time), shortens runs, seeds the stationary flow population, and averages
 // fewer seeds, reproducing the same qualitative frontiers in minutes.
+//
+// Execution is parallel: each experiment declares its grid of sweep
+// points as []Job and the engine (engine.go) fans the independent
+// point×seed simulator runs out over a worker pool, reassembling results
+// in declaration order so the output is byte-identical to a sequential
+// run. See Options.Workers.
 package experiments
 
 import (
@@ -33,7 +39,14 @@ type Options struct {
 	Seeds int
 	// Duration and Warmup override the run length (0 = mode default).
 	Duration, Warmup sim.Time
-	// Progress, if set, receives one line per completed run.
+	// Workers caps the sweep engine's worker pool: independent point×seed
+	// simulator runs execute on up to this many goroutines (0 = one per
+	// runtime.GOMAXPROCS(0)). Results are deterministic — tables, CSVs,
+	// and Progress lines are byte-identical for every worker count; only
+	// wall-clock time changes.
+	Workers int
+	// Progress, if set, receives one line per completed sweep point, in
+	// declaration order regardless of Workers.
 	Progress func(format string, args ...any)
 }
 
@@ -208,17 +221,6 @@ func fixedEps(d admission.Design) float64 {
 func f(v float64) string  { return fmt.Sprintf("%.4f", v) }
 func e(v float64) string  { return fmt.Sprintf("%.3e", v) }
 func f2(v float64) string { return fmt.Sprintf("%.3f", v) }
-
-// runPoint executes one (design, prober, eps) point and returns the mean
-// metrics over the option's seeds.
-func (o Options) runPoint(cfg scenario.Config, label string) (scenario.Metrics, error) {
-	mm, err := scenario.RunSeeds(cfg, o.seeds())
-	if err != nil {
-		return scenario.Metrics{}, fmt.Errorf("%s: %w", label, err)
-	}
-	o.logf("%-40s %s", label, mm.Mean.Summary())
-	return mm.Mean, nil
-}
 
 // eacCfg builds an EAC scenario from a base config.
 func eacCfg(base scenario.Config, d admission.Design, kind admission.ProberKind, eps float64) scenario.Config {

@@ -23,6 +23,7 @@ import (
 // result if we increased the Poisson arrival rate of flows with a fixed
 // average probe time").
 func Figure1(o Options) (Table, error) {
+	o = o.sequenced()
 	t := Table{
 		ID:     "figure1",
 		Title:  "Thrashing fluid model: utilization and in-band loss vs probe duration",
@@ -33,52 +34,57 @@ func Figure1(o Options) (Table, error) {
 	if o.Quick {
 		maxP = 500
 	}
-	for _, tp := range []float64{5, 10, 15, 20, 24, 26, 28, 30, 34, 40} {
-		res, err := fluid.Solve(fluid.Params{Tprobe: tp, MaxP: maxP})
-		if err != nil {
-			return t, fmt.Errorf("figure1 Tprobe=%v: %w", tp, err)
-		}
-		o.logf("figure1 Tp=%.1f util=%.3f loss=%.3f", tp, res.Utilization, res.InBandLoss)
-		t.Rows = append(t.Rows, []string{
-			f2(tp), f(res.Utilization), e(res.InBandLoss), f(res.Blocking), f2(res.MeanProbing),
+	probes := []float64{5, 10, 15, 20, 24, 26, 28, 30, 34, 40}
+	err := runOrdered(o.workers(), len(probes),
+		func(i int) (fluid.Result, error) {
+			res, err := fluid.Solve(fluid.Params{Tprobe: probes[i], MaxP: maxP})
+			if err != nil {
+				return res, fmt.Errorf("figure1 Tprobe=%v: %w", probes[i], err)
+			}
+			return res, nil
+		},
+		func(i int, res fluid.Result) error {
+			o.logf("figure1 Tp=%.1f util=%.3f loss=%.3f", probes[i], res.Utilization, res.InBandLoss)
+			t.Rows = append(t.Rows, []string{
+				f2(probes[i]), f(res.Utilization), e(res.InBandLoss), f(res.Blocking), f2(res.MeanProbing),
+			})
+			return nil
 		})
-	}
-	return t, nil
+	return t, err
 }
 
-// lossLoad appends one loss-load curve (a row per operating point) for
-// every design of the given sweep.
-func (o Options) lossLoad(t *Table, base scenario.Config, kind admission.ProberKind, withMBAC bool) error {
+// lossLoadJobs declares one loss-load curve (a row per operating point)
+// for every design of the given sweep: the (design, eps) grid plus the
+// MBAC reference targets. Rows reach the table through emit, letting
+// Figure 8 prefix its panel id.
+func (o Options) lossLoadJobs(id string, emit func([]string), base scenario.Config, kind admission.ProberKind, withMBAC bool) []Job {
+	var jobs []Job
+	knobRow := func(name, knob string) func(m scenario.Metrics) []string {
+		return func(m scenario.Metrics) []string {
+			return []string{name, knob, f(m.Utilization), e(m.DataLossProb), f2(m.BlockingProb)}
+		}
+	}
 	for _, d := range admission.Designs {
 		for _, eps := range o.epsFor(d) {
 			cfg := eacCfg(base, d, kind, eps)
-			m, err := o.runPoint(cfg, fmt.Sprintf("%s %s eps=%.2f", t.ID, d, eps))
-			if err != nil {
-				return err
-			}
-			t.Rows = append(t.Rows, []string{
-				d.String(), fmt.Sprintf("%.2f", eps), f(m.Utilization), e(m.DataLossProb), f2(m.BlockingProb),
-			})
+			jobs = append(jobs, o.stdJob(fmt.Sprintf("%s %s eps=%.2f", id, d, eps), cfg,
+				emit, knobRow(d.String(), fmt.Sprintf("%.2f", eps))))
 		}
 	}
 	if withMBAC {
 		for _, u := range o.targets() {
-			m, err := o.runPoint(mbacCfg(base, u), fmt.Sprintf("%s MBAC u=%.2f", t.ID, u))
-			if err != nil {
-				return err
-			}
-			t.Rows = append(t.Rows, []string{
-				"MBAC", fmt.Sprintf("%.2f", u), f(m.Utilization), e(m.DataLossProb), f2(m.BlockingProb),
-			})
+			jobs = append(jobs, o.stdJob(fmt.Sprintf("%s MBAC u=%.2f", id, u), mbacCfg(base, u),
+				emit, knobRow("MBAC", fmt.Sprintf("%.2f", u))))
 		}
 	}
-	return nil
+	return jobs
 }
 
 // Figure2 regenerates the basic-scenario loss-load curves: EXP1 sources,
 // tau = 3.5 s, slow-start probing, the four endpoint designs and the MBAC
 // benchmark.
 func Figure2(o Options) (Table, error) {
+	o = o.sequenced()
 	t := Table{
 		ID:     "figure2",
 		Title:  "Basic scenario loss-load curves (EXP1, tau=3.5s, slow-start)",
@@ -87,14 +93,13 @@ func Figure2(o Options) (Table, error) {
 	}
 	base := o.base(3.5)
 	base.Classes = classes1(trafgen.EXP1)
-	if err := o.lossLoad(&t, base, admission.SlowStart, true); err != nil {
-		return t, err
-	}
-	return t, nil
+	err := o.runJobs(o.lossLoadJobs(t.ID, rowsOf(&t), base, admission.SlowStart, true))
+	return t, err
 }
 
 // Figure3 compares 5 s and 25 s slow-start probing for in-band dropping.
 func Figure3(o Options) (Table, error) {
+	o = o.sequenced()
 	t := Table{
 		ID:     "figure3",
 		Title:  "Longer probing (in-band dropping, 5 s vs 25 s slow-start)",
@@ -102,28 +107,31 @@ func Figure3(o Options) (Table, error) {
 	}
 	base := o.base(3.5)
 	base.Classes = classes1(trafgen.EXP1)
+	var jobs []Job
 	for _, probeDur := range []sim.Time{5 * sim.Second, 25 * sim.Second} {
 		for _, eps := range o.epsFor(admission.DropInBand) {
 			cfg := eacCfg(base, admission.DropInBand, admission.SlowStart, eps)
 			cfg.AC.ProbeDur = probeDur
 			cfg.AC.StageDur = probeDur / 5
-			m, err := o.runPoint(cfg, fmt.Sprintf("figure3 probe=%v eps=%.2f", probeDur, eps))
-			if err != nil {
-				return t, err
-			}
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%gs", probeDur.Sec()), fmt.Sprintf("%.2f", eps),
-				f(m.Utilization), e(m.DataLossProb), f2(m.BlockingProb),
-			})
+			probeDur, eps := probeDur, eps
+			jobs = append(jobs, o.stdJob(fmt.Sprintf("figure3 probe=%v eps=%.2f", probeDur, eps), cfg,
+				rowsOf(&t), func(m scenario.Metrics) []string {
+					return []string{
+						fmt.Sprintf("%gs", probeDur.Sec()), fmt.Sprintf("%.2f", eps),
+						f(m.Utilization), e(m.DataLossProb), f2(m.BlockingProb),
+					}
+				}))
 		}
 	}
-	return t, nil
+	err := o.runJobs(jobs)
+	return t, err
 }
 
 // highLoad regenerates one of Figures 4-7: the design under 400% offered
 // load (tau = 1.0 s) with the three probing algorithms plus the MBAC
 // reference.
 func (o Options) highLoad(id string, d admission.Design) (Table, error) {
+	o = o.sequenced()
 	t := Table{
 		ID:     id,
 		Title:  fmt.Sprintf("High load (tau=1.0s): %s", d),
@@ -131,28 +139,25 @@ func (o Options) highLoad(id string, d admission.Design) (Table, error) {
 	}
 	base := o.base(1.0)
 	base.Classes = classes1(trafgen.EXP1)
+	knobRow := func(name, knob string) func(m scenario.Metrics) []string {
+		return func(m scenario.Metrics) []string {
+			return []string{name, knob, f(m.Utilization), e(m.DataLossProb), f2(m.BlockingProb)}
+		}
+	}
+	var jobs []Job
 	for _, kind := range []admission.ProberKind{admission.Simple, admission.SlowStart, admission.EarlyReject} {
 		for _, eps := range o.epsFor(d) {
 			cfg := eacCfg(base, d, kind, eps)
-			m, err := o.runPoint(cfg, fmt.Sprintf("%s %s eps=%.2f", id, kind, eps))
-			if err != nil {
-				return t, err
-			}
-			t.Rows = append(t.Rows, []string{
-				kind.String(), fmt.Sprintf("%.2f", eps), f(m.Utilization), e(m.DataLossProb), f2(m.BlockingProb),
-			})
+			jobs = append(jobs, o.stdJob(fmt.Sprintf("%s %s eps=%.2f", id, kind, eps), cfg,
+				rowsOf(&t), knobRow(kind.String(), fmt.Sprintf("%.2f", eps))))
 		}
 	}
 	for _, u := range o.targets() {
-		m, err := o.runPoint(mbacCfg(base, u), fmt.Sprintf("%s MBAC u=%.2f", id, u))
-		if err != nil {
-			return t, err
-		}
-		t.Rows = append(t.Rows, []string{
-			"MBAC", fmt.Sprintf("%.2f", u), f(m.Utilization), e(m.DataLossProb), f2(m.BlockingProb),
-		})
+		jobs = append(jobs, o.stdJob(fmt.Sprintf("%s MBAC u=%.2f", id, u), mbacCfg(base, u),
+			rowsOf(&t), knobRow("MBAC", fmt.Sprintf("%.2f", u))))
 	}
-	return t, nil
+	err := o.runJobs(jobs)
+	return t, err
 }
 
 // Figure4 is high load with in-band dropping.
@@ -207,23 +212,24 @@ func robustnessScenarios() []robustnessScenario {
 // Figure8 regenerates the robustness panels: loss-load curves across six
 // load patterns.
 func Figure8(o Options) (Table, error) {
+	o = o.sequenced()
 	t := Table{
 		ID:     "figure8",
 		Title:  "Robustness: loss-load curves across load patterns",
 		Header: []string{"panel", "design", "knob", "utilization", "loss_prob", "blocking"},
 	}
+	var jobs []Job
 	for _, rs := range robustnessScenarios() {
 		base := o.base(rs.tau)
 		rs.setup(&base)
-		sub := Table{ID: "figure" + rs.id}
-		if err := o.lossLoad(&sub, base, admission.SlowStart, true); err != nil {
-			return t, err
+		panel := rs.id
+		emit := func(cells []string) {
+			t.Rows = append(t.Rows, append([]string{panel}, cells...))
 		}
-		for _, row := range sub.Rows {
-			t.Rows = append(t.Rows, append([]string{rs.id}, row...))
-		}
+		jobs = append(jobs, o.lossLoadJobs("figure"+rs.id, emit, base, admission.SlowStart, true)...)
 	}
-	return t, nil
+	err := o.runJobs(jobs)
+	return t, err
 }
 
 // Figure9 regenerates the fixed-threshold comparison: the loss rate of
@@ -231,6 +237,7 @@ func Figure8(o Options) (Table, error) {
 // scenarios, exposing the order-of-magnitude spread that makes a priori
 // loss prediction hard.
 func Figure9(o Options) (Table, error) {
+	o = o.sequenced()
 	t := Table{
 		ID:     "figure9",
 		Title:  "Loss at fixed eps across scenarios (0.01 in-band / 0.05 out-of-band)",
@@ -264,24 +271,27 @@ func Figure9(o Options) (Table, error) {
 		}
 		scs = append(scs, sc{name, rs.tau, rs.setup})
 	}
+	var jobs []Job
 	for _, s := range scs {
 		base := o.base(s.tau)
 		s.setup(&base)
 		for _, d := range admission.Designs {
 			cfg := eacCfg(base, d, admission.SlowStart, fixedEps(d))
-			m, err := o.runPoint(cfg, fmt.Sprintf("figure9 %s %s", s.name, d))
-			if err != nil {
-				return t, err
-			}
-			t.Rows = append(t.Rows, []string{s.name, d.String(), e(m.DataLossProb), f(m.Utilization)})
+			name, d := s.name, d
+			jobs = append(jobs, o.stdJob(fmt.Sprintf("figure9 %s %s", name, d), cfg,
+				rowsOf(&t), func(m scenario.Metrics) []string {
+					return []string{name, d.String(), e(m.DataLossProb), f(m.Utilization)}
+				}))
 		}
 	}
-	return t, nil
+	err := o.runJobs(jobs)
+	return t, err
 }
 
 // Figure11 regenerates the legacy-router coexistence experiment: TCP
 // utilization against admission-controlled traffic for several eps.
 func Figure11(o Options) (Table, error) {
+	o = o.sequenced()
 	t := Table{
 		ID:     "figure11",
 		Title:  "TCP utilization vs eps at a legacy drop-tail router (20 TCP flows)",
@@ -292,22 +302,30 @@ func Figure11(o Options) (Table, error) {
 	if o.Quick {
 		epsList = []float64{0, 0.02, 0.05}
 	}
-	for _, eps := range epsList {
-		cfg := scenario.TCPShareConfig{
-			Eps:          eps,
-			InterArrival: o.tau(3.5),
-			LifetimeSec:  o.lifetime(),
-			Duration:     o.duration() * 2,
-			Seed:         1,
-		}
-		res, err := scenario.RunTCPShare(cfg)
-		if err != nil {
-			return t, fmt.Errorf("figure11 eps=%v: %w", eps, err)
-		}
-		o.logf("figure11 eps=%.2f tcp=%.3f ac=%.3f block=%.3f", eps, res.MeanTCPUtil, res.MeanACUtil, res.ACBlocking)
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.2f", eps), f(res.MeanTCPUtil), f(res.MeanACUtil), f2(res.ACBlocking),
+	// The TCP-coexistence points run a different simulator entry point
+	// (RunTCPShare), so they fan out per point rather than per point×seed.
+	err := runOrdered(o.workers(), len(epsList),
+		func(i int) (scenario.TCPShareResult, error) {
+			cfg := scenario.TCPShareConfig{
+				Eps:          epsList[i],
+				InterArrival: o.tau(3.5),
+				LifetimeSec:  o.lifetime(),
+				Duration:     o.duration() * 2,
+				Seed:         1,
+			}
+			res, err := scenario.RunTCPShare(cfg)
+			if err != nil {
+				return res, fmt.Errorf("figure11 eps=%v: %w", epsList[i], err)
+			}
+			return res, nil
+		},
+		func(i int, res scenario.TCPShareResult) error {
+			eps := epsList[i]
+			o.logf("figure11 eps=%.2f tcp=%.3f ac=%.3f block=%.3f", eps, res.MeanTCPUtil, res.MeanACUtil, res.ACBlocking)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.2f", eps), f(res.MeanTCPUtil), f(res.MeanACUtil), f2(res.ACBlocking),
+			})
+			return nil
 		})
-	}
-	return t, nil
+	return t, err
 }

@@ -13,12 +13,14 @@ import (
 // high threshold (0.05 in-band, 0.20 out-of-band). The stricter class
 // suffers higher blocking while both see the same packet loss.
 func Table3(o Options) (Table, error) {
+	o = o.sequenced()
 	t := Table{
 		ID:     "table3",
 		Title:  "Blocking probabilities for low and high thresholds",
 		Header: []string{"design", "block_low_eps", "block_high_eps"},
 		Notes:  "low eps = 0; high eps = 0.05 in-band, 0.20 out-of-band",
 	}
+	var jobs []Job
 	for _, d := range admission.Designs {
 		high := 0.05
 		if d.Band == admission.OutOfBand {
@@ -30,16 +32,18 @@ func Table3(o Options) (Table, error) {
 			{Name: "high", Preset: trafgen.EXP1, Weight: 1, Eps: high},
 		}
 		cfg := eacCfg(base, d, admission.SlowStart, 0)
-		mm, err := scenario.RunSeeds(cfg, o.seeds())
-		if err != nil {
-			return t, fmt.Errorf("table3 %s: %w", d, err)
-		}
-		low := mm.Mean.Classes[0]
-		hi := mm.Mean.Classes[1]
-		o.logf("table3 %-22s low=%.3f high=%.3f", d, low.BlockingProb(), hi.BlockingProb())
-		t.Rows = append(t.Rows, []string{d.String(), f2(low.BlockingProb()), f2(hi.BlockingProb())})
+		d := d
+		jobs = append(jobs, Job{Label: fmt.Sprintf("table3 %s", d), Cfg: cfg,
+			Done: func(mm scenario.MultiMetrics) error {
+				low := mm.Mean.Classes[0]
+				hi := mm.Mean.Classes[1]
+				o.logf("table3 %-22s low=%.3f high=%.3f", d, low.BlockingProb(), hi.BlockingProb())
+				t.Rows = append(t.Rows, []string{d.String(), f2(low.BlockingProb()), f2(hi.BlockingProb())})
+				return nil
+			}})
 	}
-	return t, nil
+	err := o.runJobs(jobs)
+	return t, err
 }
 
 // heterogeneousMix is the Figure 8(e) / Table 4 traffic mix: three classes
@@ -57,46 +61,43 @@ func heterogeneousMix() []scenario.ClassSpec {
 // heterogeneous mix: every admission method blocks the high-rate EXP2
 // flows more, the MBAC most strongly.
 func Table4(o Options) (Table, error) {
+	o = o.sequenced()
 	t := Table{
 		ID:     "table4",
 		Title:  "Blocking probabilities for small and large flows (heterogeneous mix)",
 		Header: []string{"design", "block_small", "block_large"},
 		Notes:  "large = EXP2 (1024 kb/s probe rate); small = EXP1/EXP4/POO1 (256 kb/s)",
 	}
-	collect := func(name string, cfg scenario.Config) error {
-		mm, err := scenario.RunSeeds(cfg, o.seeds())
-		if err != nil {
-			return fmt.Errorf("table4 %s: %w", name, err)
-		}
-		var smallArr, smallBlk, largeArr, largeBlk int64
-		for _, cm := range mm.Mean.Classes {
-			if cm.Name == "EXP2" {
-				largeArr += cm.Arrived
-				largeBlk += cm.Blocked
-			} else {
-				smallArr += cm.Arrived
-				smallBlk += cm.Blocked
+	collect := func(name string, cfg scenario.Config) Job {
+		return Job{Label: "table4 " + name, Cfg: cfg, Done: func(mm scenario.MultiMetrics) error {
+			var smallArr, smallBlk, largeArr, largeBlk int64
+			for _, cm := range mm.Mean.Classes {
+				if cm.Name == "EXP2" {
+					largeArr += cm.Arrived
+					largeBlk += cm.Blocked
+				} else {
+					smallArr += cm.Arrived
+					smallBlk += cm.Blocked
+				}
 			}
-		}
-		bs := float64(smallBlk) / float64(max64(smallArr, 1))
-		bl := float64(largeBlk) / float64(max64(largeArr, 1))
-		o.logf("table4 %-22s small=%.3f large=%.3f", name, bs, bl)
-		t.Rows = append(t.Rows, []string{name, f2(bs), f2(bl)})
-		return nil
+			bs := float64(smallBlk) / float64(max64(smallArr, 1))
+			bl := float64(largeBlk) / float64(max64(largeArr, 1))
+			o.logf("table4 %-22s small=%.3f large=%.3f", name, bs, bl)
+			t.Rows = append(t.Rows, []string{name, f2(bs), f2(bl)})
+			return nil
+		}}
 	}
+	var jobs []Job
 	for _, d := range admission.Designs {
 		base := o.base(3.5)
 		base.Classes = heterogeneousMix()
-		if err := collect(d.String(), eacCfg(base, d, admission.SlowStart, fixedEps(d))); err != nil {
-			return t, err
-		}
+		jobs = append(jobs, collect(d.String(), eacCfg(base, d, admission.SlowStart, fixedEps(d))))
 	}
 	base := o.base(3.5)
 	base.Classes = heterogeneousMix()
-	if err := collect("MBAC", mbacCfg(base, 0.95)); err != nil {
-		return t, err
-	}
-	return t, nil
+	jobs = append(jobs, collect("MBAC", mbacCfg(base, 0.95)))
+	err := o.runJobs(jobs)
+	return t, err
 }
 
 func max64(a, b int64) int64 {
@@ -127,79 +128,73 @@ func (o Options) multiHopBase() scenario.Config {
 // flows lose roughly three times as many packets as short flows, i.e. the
 // longer path does not impair decision accuracy.
 func Table5(o Options) (Table, error) {
+	o = o.sequenced()
 	t := Table{
 		ID:     "table5",
 		Title:  "Loss probability for short vs long flows (multi-hop, eps=0)",
 		Header: []string{"design", "loss_short", "loss_long", "ratio"},
 		Notes:  "ratio ~ 3 indicates additive per-hop loss with unimpaired decisions",
 	}
-	collect := func(name string, cfg scenario.Config) error {
-		mm, err := scenario.RunSeeds(cfg, o.seeds())
-		if err != nil {
-			return fmt.Errorf("table5 %s: %w", name, err)
-		}
-		long := mm.Mean.Classes[0]
-		var sSent, sLost int64
-		for _, cm := range mm.Mean.Classes[1:] {
-			sSent += cm.DataSent
-			sLost += cm.DataLost
-		}
-		ls := float64(sLost) / float64(max64(sSent, 1))
-		ll := long.LossProb()
-		ratio := 0.0
-		if ls > 0 {
-			ratio = ll / ls
-		}
-		o.logf("table5 %-22s short=%.2e long=%.2e ratio=%.1f", name, ls, ll, ratio)
-		t.Rows = append(t.Rows, []string{name, e(ls), e(ll), f2(ratio)})
-		return nil
+	collect := func(name string, cfg scenario.Config) Job {
+		return Job{Label: "table5 " + name, Cfg: cfg, Done: func(mm scenario.MultiMetrics) error {
+			long := mm.Mean.Classes[0]
+			var sSent, sLost int64
+			for _, cm := range mm.Mean.Classes[1:] {
+				sSent += cm.DataSent
+				sLost += cm.DataLost
+			}
+			ls := float64(sLost) / float64(max64(sSent, 1))
+			ll := long.LossProb()
+			ratio := 0.0
+			if ls > 0 {
+				ratio = ll / ls
+			}
+			o.logf("table5 %-22s short=%.2e long=%.2e ratio=%.1f", name, ls, ll, ratio)
+			t.Rows = append(t.Rows, []string{name, e(ls), e(ll), f2(ratio)})
+			return nil
+		}}
 	}
+	var jobs []Job
 	for _, d := range admission.Designs {
-		if err := collect(d.String(), eacCfg(o.multiHopBase(), d, admission.SlowStart, 0)); err != nil {
-			return t, err
-		}
+		jobs = append(jobs, collect(d.String(), eacCfg(o.multiHopBase(), d, admission.SlowStart, 0)))
 	}
-	if err := collect("MBAC", mbacCfg(o.multiHopBase(), 0.95)); err != nil {
-		return t, err
-	}
-	return t, nil
+	jobs = append(jobs, collect("MBAC", mbacCfg(o.multiHopBase(), 0.95)))
+	err := o.runJobs(jobs)
+	return t, err
 }
 
 // Table6 regenerates the multi-hop blocking comparison: per-link short
 // blocking, long blocking, and the product approximation
 // 1 - prod(1 - b_i).
 func Table6(o Options) (Table, error) {
+	o = o.sequenced()
 	t := Table{
 		ID:     "table6",
 		Title:  "Blocking for short vs long flows (multi-hop, eps=0) and the product approximation",
 		Header: []string{"design", "short_1", "short_2", "short_3", "long", "product"},
 	}
-	collect := func(name string, cfg scenario.Config) error {
-		mm, err := scenario.RunSeeds(cfg, o.seeds())
-		if err != nil {
-			return fmt.Errorf("table6 %s: %w", name, err)
-		}
-		long := mm.Mean.Classes[0].BlockingProb()
-		b := make([]float64, 3)
-		prod := 1.0
-		for i := 0; i < 3; i++ {
-			b[i] = mm.Mean.Classes[i+1].BlockingProb()
-			prod *= 1 - b[i]
-		}
-		o.logf("table6 %-22s short=%.3f/%.3f/%.3f long=%.3f product=%.3f",
-			name, b[0], b[1], b[2], long, 1-prod)
-		t.Rows = append(t.Rows, []string{
-			name, f2(b[0]), f2(b[1]), f2(b[2]), f2(long), f2(1 - prod),
-		})
-		return nil
+	collect := func(name string, cfg scenario.Config) Job {
+		return Job{Label: "table6 " + name, Cfg: cfg, Done: func(mm scenario.MultiMetrics) error {
+			long := mm.Mean.Classes[0].BlockingProb()
+			b := make([]float64, 3)
+			prod := 1.0
+			for i := 0; i < 3; i++ {
+				b[i] = mm.Mean.Classes[i+1].BlockingProb()
+				prod *= 1 - b[i]
+			}
+			o.logf("table6 %-22s short=%.3f/%.3f/%.3f long=%.3f product=%.3f",
+				name, b[0], b[1], b[2], long, 1-prod)
+			t.Rows = append(t.Rows, []string{
+				name, f2(b[0]), f2(b[1]), f2(b[2]), f2(long), f2(1 - prod),
+			})
+			return nil
+		}}
 	}
+	var jobs []Job
 	for _, d := range admission.Designs {
-		if err := collect(d.String(), eacCfg(o.multiHopBase(), d, admission.SlowStart, 0)); err != nil {
-			return t, err
-		}
+		jobs = append(jobs, collect(d.String(), eacCfg(o.multiHopBase(), d, admission.SlowStart, 0)))
 	}
-	if err := collect("MBAC", mbacCfg(o.multiHopBase(), 0.95)); err != nil {
-		return t, err
-	}
-	return t, nil
+	jobs = append(jobs, collect("MBAC", mbacCfg(o.multiHopBase(), 0.95)))
+	err := o.runJobs(jobs)
+	return t, err
 }

@@ -5,6 +5,13 @@
 // by the Measured Sum MBAC, with the paper's metrics — utilization of the
 // allocated share by data packets, data packet loss probability, and
 // per-class flow blocking probability.
+//
+// Concurrency: a single run is strictly single-threaded, but distinct
+// runs are independent — a Runner and everything it reaches (its Sim, its
+// packet pool, its RNG streams) is per-run state, and the package-level
+// tables it consults (trafgen presets, admission designs) are immutable
+// after init. RunSeedsParallel and the experiment sweep engine rely on
+// this to execute runs on concurrent goroutines.
 package scenario
 
 import (
@@ -316,7 +323,11 @@ type MultiMetrics struct {
 	UtilStderr, LossStderr float64
 }
 
-func aggregate(runs []Metrics) MultiMetrics {
+// Aggregate combines per-seed run metrics into a MultiMetrics. The runs
+// slice is retained as MultiMetrics.Runs; averaging is order-sensitive
+// only through float summation, so callers that want reproducible output
+// must pass runs in seed order (RunSeeds and the experiment engine do).
+func Aggregate(runs []Metrics) MultiMetrics {
 	mm := MultiMetrics{Runs: runs}
 	if len(runs) == 0 {
 		return mm

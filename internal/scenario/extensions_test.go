@@ -8,6 +8,9 @@ import (
 )
 
 func TestREDQueueScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
 	cfg := quickCfg()
 	cfg.Queue = QueueRED
 	m, err := Run(cfg)
@@ -40,6 +43,9 @@ func TestREDRejectsOutOfBand(t *testing.T) {
 }
 
 func TestVirtualDropDesign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
 	// Footnote 14: out-of-band virtual dropping should behave like
 	// out-of-band marking (early congestion signals, low data loss)
 	// without ECN bits.
@@ -131,6 +137,9 @@ func TestPassiveHasNoSetupDelay(t *testing.T) {
 }
 
 func TestRetryBackoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
 	cfg := quickCfg()
 	cfg.MaxRetries = 3
 	cfg.RetryBackoffSec = 2

@@ -2,6 +2,9 @@ package scenario
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"eac/internal/admission"
 	"eac/internal/mbac"
@@ -433,19 +436,65 @@ func Run(cfg Config) (Metrics, error) {
 }
 
 // RunSeeds runs the scenario once per seed and aggregates, mirroring the
-// paper's 7-run averaging.
+// paper's 7-run averaging. Runs execute concurrently on up to
+// runtime.GOMAXPROCS(0) cores; see RunSeedsParallel for an explicit
+// worker count. The result is identical to a sequential execution.
 func RunSeeds(cfg Config, seeds []uint64) (MultiMetrics, error) {
-	runs := make([]Metrics, 0, len(seeds))
-	for _, sd := range seeds {
-		c := cfg
-		c.Seed = sd
-		m, err := Run(c)
+	return RunSeedsParallel(cfg, seeds, 0)
+}
+
+// RunSeedsParallel is RunSeeds with an explicit worker count (<= 0 means
+// runtime.GOMAXPROCS(0)). Every run is independent — it owns its Sim, its
+// packet pool, and RNG streams derived only from (seed, label) — and the
+// per-seed Metrics are aggregated in seed order, so the MultiMetrics is
+// bitwise-identical for every worker count; only wall-clock time changes.
+func RunSeedsParallel(cfg Config, seeds []uint64, workers int) (MultiMetrics, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	if workers <= 1 {
+		runs := make([]Metrics, 0, len(seeds))
+		for _, sd := range seeds {
+			c := cfg
+			c.Seed = sd
+			m, err := Run(c)
+			if err != nil {
+				return MultiMetrics{}, err
+			}
+			runs = append(runs, m)
+		}
+		return Aggregate(runs), nil
+	}
+	runs := make([]Metrics, len(seeds))
+	errs := make([]error, len(seeds))
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(seeds) {
+					return
+				}
+				c := cfg
+				c.Seed = seeds[i]
+				runs[i], errs[i] = Run(c)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return MultiMetrics{}, err
 		}
-		runs = append(runs, m)
 	}
-	return aggregate(runs), nil
+	return Aggregate(runs), nil
 }
 
 // DefaultSeeds returns n deterministic seeds.

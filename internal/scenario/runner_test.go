@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"reflect"
 	"testing"
 
 	"eac/internal/admission"
@@ -129,6 +130,9 @@ func TestMBACTargetSweepMonotone(t *testing.T) {
 }
 
 func TestEpsilonSweepRaisesUtilizationAndLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
 	run := func(eps float64) Metrics {
 		cfg := quickCfg()
 		cfg.AC.Eps = eps
@@ -149,6 +153,9 @@ func TestEpsilonSweepRaisesUtilizationAndLoss(t *testing.T) {
 }
 
 func TestOutOfBandProtectsData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
 	run := func(d admission.Design) Metrics {
 		cfg := quickCfg()
 		cfg.AC.Design = d
@@ -170,6 +177,9 @@ func TestOutOfBandProtectsData(t *testing.T) {
 }
 
 func TestMarkingReducesLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
 	run := func(d admission.Design, eps float64) Metrics {
 		cfg := quickCfg()
 		cfg.AC.Design = d
@@ -211,6 +221,9 @@ func TestHeterogeneousThresholdsBlocking(t *testing.T) {
 }
 
 func TestMultiHopLongFlowsBlockedMore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
 	// Tables 5-6: flows crossing three congested links block more than
 	// single-hop cross traffic.
 	cfg := quickCfg()
@@ -375,5 +388,52 @@ func TestPerLinkMetricsPopulated(t *testing.T) {
 	}
 	if lm.ProbeShare <= 0 {
 		t.Fatal("no probe share on link 0")
+	}
+}
+
+// TestRunSeedsParallelDeterminism proves the hard requirement of the
+// parallel engine: the aggregate over seeds is bitwise-identical for any
+// worker count, because each run owns its Sim and RNG streams and
+// aggregation preserves seed order. Kept fast (short sims) so it also
+// exercises the goroutine pool under -short -race.
+func TestRunSeedsParallelDeterminism(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Duration = 40 * sim.Second
+	cfg.Warmup = 10 * sim.Second
+	cfg.PrepopulateUtil = 0.5
+	seeds := DefaultSeeds(5)
+
+	seq, err := RunSeedsParallel(cfg, seeds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		par, err := RunSeedsParallel(cfg, seeds, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: parallel aggregate differs from sequential\nseq: %+v\npar: %+v",
+				workers, seq.Mean, par.Mean)
+		}
+	}
+
+	// RunSeeds (default worker count) must agree too.
+	def, err := RunSeeds(cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, def) {
+		t.Fatal("RunSeeds default workers differs from sequential")
+	}
+}
+
+// TestRunSeedsParallelError checks that a config error surfaces from the
+// parallel path just as it does sequentially.
+func TestRunSeedsParallelError(t *testing.T) {
+	bad := quickCfg()
+	bad.InterArrival = -1
+	if _, err := RunSeedsParallel(bad, DefaultSeeds(3), 2); err == nil {
+		t.Fatal("expected config error from parallel run")
 	}
 }
