@@ -1,7 +1,7 @@
 # Tier-1 flow: `make ci` is what a checkin must keep green.
 GO ?= go
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet bench cover ci
 
 build:
 	$(GO) build ./...
@@ -21,8 +21,16 @@ race:
 vet:
 	$(GO) vet ./...
 
+# cover runs the unit suite with coverage and prints the per-function
+# summary plus the total. -short keeps the long simulations out.
+cover:
+	$(GO) test -short -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
+
 # bench regenerates every figure/table (quick mode) and runs the hot-path
 # microbenchmarks; see bench_test.go for flags (-eac.workers, -eac.paper).
+# BenchmarkObsOverhead additionally appends its disabled-vs-enabled
+# observability cost record to results/BENCH_obs.json.
 bench:
 	$(GO) test -bench=. -benchmem -timeout 60m
 

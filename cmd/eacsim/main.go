@@ -13,9 +13,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"path/filepath"
+	"runtime"
+	"time"
 
 	"eac/internal/admission"
+	"eac/internal/obs"
 	"eac/internal/scenario"
 	"eac/internal/sim"
 	"eac/internal/trafgen"
@@ -71,8 +77,19 @@ func main() {
 		probeDur = flag.Float64("probe", 5, "total probe duration, seconds")
 		useRED   = flag.Bool("red", false, "use a RED queue instead of drop-tail (in-band designs only)")
 		retries  = flag.Int("retries", 0, "max admission retries with exponential back-off")
+
+		// Observability and profiling (see README "Observability").
+		obsDir    = flag.String("obs", "", "write observability artifacts (run manifest, per-queue time-series CSVs, JSONL event traces) under this directory")
+		mInterval = flag.Float64("metrics-interval", 1, "queue telemetry sampling interval, simulated seconds (0 disables the time series)")
+		traceOut  = flag.String("trace-out", "", "JSONL event trace path (default <obs>/eacsim-s<seed>-trace.jsonl; implies -obs in the file's directory; single seed only)")
+		traceCap  = flag.Int("trace-cap", 1<<16, "event trace ring capacity; the oldest events are discarded beyond this")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() { log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil)) }()
+	}
 
 	preset, err := trafgen.Lookup(*source)
 	if err != nil {
@@ -115,11 +132,72 @@ func main() {
 		log.Fatalf("unknown method %q", *method)
 	}
 
-	mm, err := scenario.RunSeedsParallel(cfg, scenario.DefaultSeeds(*seeds), *workers)
+	if *traceOut != "" {
+		if *seeds > 1 {
+			log.Fatal("-trace-out names a single file; use -seeds 1 or -obs DIR for per-seed traces")
+		}
+		if *obsDir == "" {
+			// Trace-only invocation: keep the manifest and series next to
+			// the requested trace file instead of littering the cwd.
+			*obsDir = filepath.Dir(*traceOut)
+		}
+	}
+	if *obsDir != "" {
+		cfg.Obs = obs.Config{
+			Enabled:         true,
+			Dir:             *obsDir,
+			Label:           "eacsim",
+			MetricsInterval: sim.Seconds(*mInterval),
+			TraceCapacity:   *traceCap,
+			TracePath:       *traceOut,
+		}
+	}
+
+	seedVals := scenario.DefaultSeeds(*seeds)
+	start := time.Now()
+	mm, err := scenario.RunSeedsParallel(cfg, seedVals, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
+	wall := time.Since(start)
 	m := mm.Mean
+
+	if *obsDir != "" {
+		man := obs.NewManifest()
+		man.Workers = *workers
+		if man.Workers <= 0 {
+			man.Workers = runtime.GOMAXPROCS(0)
+		}
+		man.Seeds = seedVals
+		man.WallSeconds = wall.Seconds()
+		man.Config = map[string]any{
+			"method": *method, "design": *design, "prober": *prober,
+			"eps": *eps, "target": *target, "source": *source,
+			"tau_s": *tau, "life_s": *life, "link_bps": *linkBps,
+			"duration_s": *duration, "warmup_s": *warmup,
+			"prepopulate": *prepop, "probe_s": *probeDur,
+			"red": *useRED, "retries": *retries,
+			"metrics_interval_s": *mInterval, "trace_cap": *traceCap,
+		}
+		man.Summary = map[string]any{
+			"utilization": m.Utilization, "util_stderr": mm.UtilStderr,
+			"loss": m.DataLossProb, "loss_stderr": mm.LossStderr,
+			"blocking": m.BlockingProb, "decided": m.Decided,
+			"probe_share": m.ProbeShare,
+		}
+		for _, s := range seedVals {
+			series, trace := cfg.Obs.ArtifactPaths(s)
+			man.Artifacts = append(man.Artifacts, series)
+			if trace != "" {
+				man.Artifacts = append(man.Artifacts, trace)
+			}
+		}
+		if err := man.Write(cfg.Obs.ManifestPath()); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("observability: wrote %s and %d artifact(s) under %s",
+			cfg.Obs.ManifestPath(), len(man.Artifacts), *obsDir)
+	}
 	fmt.Printf("scenario : %s %s tau=%.2gs link=%.3gMb/s duration=%.0fs x %d seed(s)\n",
 		*method, *source, *tau, *linkBps/1e6, *duration, *seeds)
 	if cfg.Method == scenario.EAC {

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -20,6 +22,7 @@ import (
 	"time"
 
 	"eac/internal/experiments"
+	"eac/internal/obs"
 	"eac/internal/sim"
 )
 
@@ -36,8 +39,20 @@ func main() {
 		outDir   = flag.String("out", "results", "directory for CSV output (empty = no files)")
 		verbose  = flag.Bool("v", false, "log every completed run")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+
+		// Observability and profiling (see EXPERIMENTS.md "Observability").
+		eta       = flag.Bool("eta", false, "report live progress and ETA on stderr")
+		manifest  = flag.Bool("manifest", true, "write a <out>/<id>.manifest.json run record per experiment")
+		mInterval = flag.Float64("metrics-interval", 0, "per-run queue telemetry sampling interval, simulated seconds (0 = off)")
+		traceDir  = flag.String("trace-out", "", "directory for per-run JSONL event traces (implies telemetry)")
+		traceCap  = flag.Int("trace-cap", 1<<16, "event trace ring capacity per run")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() { log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil)) }()
+	}
 
 	if *list {
 		for _, ex := range experiments.All() {
@@ -56,6 +71,32 @@ func main() {
 	opts.Workers = *workers
 	if *verbose {
 		opts.Progress = func(format string, args ...any) { log.Printf(format, args...) }
+	}
+	if *eta {
+		opts.ETA = func(done, total int, elapsed time.Duration) {
+			rem := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs (%3.0f%%) elapsed %s eta %s ",
+				done, total, 100*float64(done)/float64(total),
+				elapsed.Round(time.Second), rem.Round(time.Second))
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	if *mInterval > 0 || *traceDir != "" {
+		dir := *traceDir
+		if dir == "" {
+			dir = filepath.Join(*outDir, "obs")
+		}
+		opts.Obs = obs.Config{
+			Enabled:         true,
+			Dir:             dir,
+			MetricsInterval: sim.Seconds(*mInterval),
+			TraceCapacity:   *traceCap,
+		}
+		if *traceDir == "" {
+			opts.Obs.TraceCapacity = 0 // telemetry only; no traces requested
+		}
 	}
 
 	var todo []experiments.Experiment
@@ -87,11 +128,30 @@ func main() {
 		if w <= 0 {
 			w = runtime.GOMAXPROCS(0)
 		}
-		log.Printf("%s finished in %.1fs (%d workers)", ex.ID, time.Since(start).Seconds(), w)
+		wall := time.Since(start)
+		log.Printf("%s finished in %.1fs (%d workers)", ex.ID, wall.Seconds(), w)
 		if *outDir != "" {
 			path := filepath.Join(*outDir, ex.ID+".csv")
 			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
 				log.Fatal(err)
+			}
+			if *manifest {
+				man := obs.NewManifest()
+				man.Workers = w
+				man.Seeds = opts.SeedValues()
+				man.WallSeconds = wall.Seconds()
+				man.Config = map[string]any{
+					"experiment": ex.ID, "title": ex.Title,
+					"quick":      !*paper,
+					"duration_s": opts.RunDuration().Sec(),
+					"warmup_s":   opts.RunWarmup().Sec(),
+				}
+				man.Summary = map[string]any{"rows": len(tbl.Rows)}
+				man.Artifacts = []string{ex.ID + ".csv"}
+				mp := filepath.Join(*outDir, ex.ID+".manifest.json")
+				if err := man.Write(mp); err != nil {
+					log.Fatal(err)
+				}
 			}
 		}
 	}

@@ -37,6 +37,7 @@ package eac
 import (
 	"eac/internal/admission"
 	"eac/internal/fluid"
+	"eac/internal/obs"
 	"eac/internal/scenario"
 	"eac/internal/sim"
 	"eac/internal/trafgen"
@@ -73,7 +74,19 @@ type (
 	TCPShareConfig = scenario.TCPShareConfig
 	// TCPShareResult is its outcome.
 	TCPShareResult = scenario.TCPShareResult
+	// ObsConfig configures a run's observability collector (Config.Obs):
+	// per-queue telemetry time series, a JSONL packet/event trace, and
+	// artifact output. The zero value keeps observability disabled with
+	// zero overhead and byte-identical output.
+	ObsConfig = obs.Config
+	// ObsManifest is the structured per-invocation run record written
+	// next to result files.
+	ObsManifest = obs.Manifest
 )
+
+// NewObsManifest returns a run manifest stamped with the current process
+// environment.
+func NewObsManifest() ObsManifest { return obs.NewManifest() }
 
 // Admission-control configuration.
 type (

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"eac/internal/scenario"
 )
@@ -128,12 +130,20 @@ func (o Options) workers() int {
 func (o Options) runJobs(jobs []Job) error {
 	seeds := o.seeds()
 	ns := len(seeds)
+	total := len(jobs) * ns
+	start := time.Now()
 	runs := make([]scenario.Metrics, ns)
-	return runOrdered(o.workers(), len(jobs)*ns,
+	return runOrdered(o.workers(), total,
 		func(i int) (scenario.Metrics, error) {
 			job, seed := i/ns, i%ns
 			c := jobs[job].Cfg
 			c.Seed = seeds[seed]
+			if o.Obs.Active() {
+				// Per-run observability: every run gets its own
+				// collector; artifacts are named by point label + seed.
+				c.Obs = o.Obs
+				c.Obs.Label = joinLabel(o.Obs.Label, fileLabel(jobs[job].Label))
+			}
 			m, err := scenario.Run(c)
 			if err != nil {
 				return m, fmt.Errorf("%s: %w", jobs[job].Label, err)
@@ -141,6 +151,9 @@ func (o Options) runJobs(jobs []Job) error {
 			return m, nil
 		},
 		func(i int, m scenario.Metrics) error {
+			if o.ETA != nil {
+				o.ETA(i+1, total, time.Since(start))
+			}
 			runs[i%ns] = m
 			if i%ns < ns-1 {
 				return nil
@@ -185,4 +198,27 @@ func (o Options) stdJob(label string, cfg scenario.Config, emit func([]string), 
 // rowsOf returns an emit function appending rows to t.
 func rowsOf(t *Table) func([]string) {
 	return func(cells []string) { t.Rows = append(t.Rows, cells) }
+}
+
+// fileLabel sanitizes a sweep-point label into a filename-safe stem.
+func fileLabel(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// joinLabel prefixes a point label with the sweep-wide label, if any.
+func joinLabel(prefix, label string) string {
+	if prefix == "" {
+		return label
+	}
+	return prefix + "-" + label
 }

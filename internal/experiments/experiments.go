@@ -22,8 +22,10 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"eac/internal/admission"
+	"eac/internal/obs"
 	"eac/internal/scenario"
 	"eac/internal/sim"
 	"eac/internal/trafgen"
@@ -48,6 +50,19 @@ type Options struct {
 	// Progress, if set, receives one line per completed sweep point, in
 	// declaration order regardless of Workers.
 	Progress func(format string, args ...any)
+	// ETA, if set, receives sweep progress after each completed
+	// simulator run (completed runs, total runs, elapsed wall-clock), on
+	// the coordinating goroutine in completion order. It is deliberately
+	// separate from Progress: ETA output carries wall-clock times, which
+	// vary run to run, while Progress lines are part of the
+	// byte-identical-output guarantee.
+	ETA func(done, total int, elapsed time.Duration)
+	// Obs, if active, attaches a per-run observability collector
+	// (internal/obs) to every sweep run: time-series and trace artifacts
+	// are written under Obs.Dir, named by sweep-point label and seed.
+	// Obs.TracePath must stay empty here — per-run naming keeps the
+	// artifacts of concurrent runs distinct.
+	Obs obs.Config
 }
 
 // Quick returns quick-mode options.
@@ -108,6 +123,16 @@ func (o Options) logf(format string, args ...any) {
 		o.Progress(format, args...)
 	}
 }
+
+// SeedValues returns the seed list these options resolve to (for run
+// manifests).
+func (o Options) SeedValues() []uint64 { return o.seeds() }
+
+// RunDuration returns the resolved per-run simulated duration.
+func (o Options) RunDuration() sim.Time { return o.duration() }
+
+// RunWarmup returns the resolved per-run warmup.
+func (o Options) RunWarmup() sim.Time { return o.warmup() }
 
 // base returns a scenario config with this mode's scale applied.
 func (o Options) base(paperTau float64) scenario.Config {

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"eac/internal/obs"
 	"eac/internal/sim"
 )
 
@@ -75,6 +76,11 @@ type Link struct {
 	// control uses it as its load tap.
 	OnArrive func(now sim.Time, p *Packet)
 
+	// Tap, if set, streams packet-level telemetry (enqueue, dequeue,
+	// drop, mark) into the observability layer's event trace. Nil — the
+	// default — costs one pointer check per event.
+	Tap *obs.LinkTap
+
 	Stats LinkStats
 
 	s      *sim.Sim
@@ -116,12 +122,18 @@ func (l *Link) Receive(now sim.Time, p *Packet) {
 		}
 		p.Marked = true
 		l.Stats.Marked[p.Kind]++
+		if l.Tap != nil {
+			l.Tap.Mark(now, p.FlowID, uint8(p.Kind), p.Size, p.Seq, l.Q.Len())
+		}
 	}
 	if dropped := l.Q.Enqueue(now, p); dropped != nil {
 		l.drop(now, dropped)
 		if dropped == p {
 			return
 		}
+	}
+	if l.Tap != nil {
+		l.Tap.Enqueue(now, p.FlowID, uint8(p.Kind), p.Size, p.Seq, l.Q.Len())
 	}
 	if !l.busy {
 		l.startTx(now)
@@ -130,6 +142,9 @@ func (l *Link) Receive(now sim.Time, p *Packet) {
 
 func (l *Link) drop(now sim.Time, p *Packet) {
 	l.Stats.Dropped[p.Kind]++
+	if l.Tap != nil {
+		l.Tap.Drop(now, p.FlowID, uint8(p.Kind), p.Size, p.Seq, l.Q.Len())
+	}
 	if l.OnDrop != nil {
 		l.OnDrop(now, p)
 	}
@@ -148,6 +163,9 @@ func (l *Link) startTx(now sim.Time) {
 	}
 	l.busy = true
 	l.txPkt = p
+	if l.Tap != nil {
+		l.Tap.Dequeue(now, p.FlowID, uint8(p.Kind), p.Size, p.Seq, l.Q.Len())
+	}
 	l.s.Schedule(l.txDone, now+l.txTime(p))
 }
 

@@ -79,3 +79,13 @@ func (v *VirtualQueue) OnArrival(now sim.Time, p *Packet) (mark bool) {
 
 // Backlog returns the shadow backlog of one band in bytes (for tests).
 func (v *VirtualQueue) Backlog(band int) int64 { return v.backlog[band] }
+
+// TotalBacklog returns the shadow backlog across all bands in bytes, as
+// of the last arrival (the observability layer samples it).
+func (v *VirtualQueue) TotalBacklog() int64 {
+	var t int64
+	for b := range v.backlog {
+		t += v.backlog[b]
+	}
+	return t
+}

@@ -131,6 +131,69 @@ func (c *countingSink) Receive(now sim.Time, p *Packet) {
 	c.seqs = append(c.seqs, p.Seq)
 }
 
+func TestVirtualQueueExactRateDrain(t *testing.T) {
+	// Edge case: arrivals at exactly the shadow service rate. 8000 bits/s
+	// = 1000 bytes/s; a 100-byte packet every 100 ms is drained completely
+	// between arrivals, so the backlog never accumulates and nothing is
+	// ever marked, no matter how long the sequence runs.
+	v := NewVirtualQueue(8000, 150)
+	p := &Packet{Size: 100, Band: BandData}
+	for i := 0; i < 1000; i++ {
+		at := sim.Time(i) * 100 * sim.Millisecond
+		if v.OnArrival(at, p) {
+			t.Fatalf("marked at arrival %d despite exact-rate drain", i)
+		}
+	}
+	if got := v.TotalBacklog(); got != 100 {
+		t.Fatalf("TotalBacklog = %d, want 100 (just the last arrival)", got)
+	}
+}
+
+func TestVirtualQueueJustAboveRateMarks(t *testing.T) {
+	// One millisecond faster than the drain rate: each arrival leaves a
+	// net +1 byte of shadow backlog, which must eventually overflow the
+	// buffer and mark — the smallest sustained overload is detected.
+	v := NewVirtualQueue(8000, 150)
+	p := &Packet{Size: 100, Band: BandData}
+	marked := false
+	for i := 0; i < 1000 && !marked; i++ {
+		at := sim.Time(i) * 99 * sim.Millisecond
+		marked = v.OnArrival(at, p)
+	}
+	if !marked {
+		t.Fatal("no mark after 1000 arrivals just above the shadow rate")
+	}
+}
+
+func TestVirtualQueueRejectsZeroConfig(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic on invalid config", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero rate", func() { NewVirtualQueue(0, 500) })
+	mustPanic("zero capacity", func() { NewVirtualQueue(8000, 0) })
+	mustPanic("negative rate", func() { NewVirtualQueue(-1, 500) })
+}
+
+func TestVirtualQueueTotalBacklog(t *testing.T) {
+	v := NewVirtualQueue(8000, 1000)
+	v.OnArrival(0, &Packet{Size: 300, Band: BandData})
+	v.OnArrival(0, &Packet{Size: 200, Band: BandProbe})
+	if got := v.TotalBacklog(); got != 500 {
+		t.Fatalf("TotalBacklog = %d, want 500", got)
+	}
+	// Backlog is as of the last arrival; a new arrival drains first.
+	v.OnArrival(100*sim.Millisecond, &Packet{Size: 100, Band: BandData}) // 100 B drained
+	if got := v.TotalBacklog(); got != 500 {
+		t.Fatalf("TotalBacklog = %d, want 500 (400 left + 100 new)", got)
+	}
+}
+
 func TestVQDropProbesMode(t *testing.T) {
 	// Footnote 14's router behaviour: when the shadow queue would mark a
 	// probe, drop it instead; data packets are still marked, not dropped.

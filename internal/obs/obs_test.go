@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eac/internal/sim"
+)
+
+func enabledCfg(dir string) Config {
+	return Config{
+		Enabled:         true,
+		Dir:             dir,
+		Label:           "t",
+		MetricsInterval: sim.Second,
+		TraceCapacity:   8,
+	}
+}
+
+func TestNilCollectorIsInert(t *testing.T) {
+	var c *Collector
+	if c.Enabled() || c.Sampling() || c.Tracing() {
+		t.Fatal("nil collector reports activity")
+	}
+	if c.Interval() != 0 || c.TraceLen() != 0 || c.TraceDropped() != 0 {
+		t.Fatal("nil collector reports state")
+	}
+	c.AddSample(Sample{})
+	c.Decision(0, 0, 0, true, 1, 0.5)
+	if got := c.DecisionCounts(); got != (Decisions{}) {
+		t.Fatalf("nil collector counted decisions: %+v", got)
+	}
+	if c.Samples() != nil {
+		t.Fatal("nil collector has samples")
+	}
+	if tap := c.RegisterLink("L0"); tap != nil {
+		t.Fatal("nil collector handed out a tap")
+	}
+	paths, err := c.Flush()
+	if err != nil || paths != nil {
+		t.Fatalf("nil Flush = %v, %v", paths, err)
+	}
+	var tap *LinkTap
+	tap.Enqueue(0, 0, 0, 100, 0, 1) // must not panic
+}
+
+func TestZeroConfigConstructsNothing(t *testing.T) {
+	if New(Config{}, 1) != nil {
+		t.Fatal("zero config constructed a collector")
+	}
+	if !enabledCfg("x").Active() {
+		t.Fatal("non-zero config not active")
+	}
+	if (Config{TraceCapacity: 1}).Active() != true {
+		t.Fatal("disabled-but-configured should still be active")
+	}
+}
+
+func TestDisabledCollectorIsInert(t *testing.T) {
+	cfg := enabledCfg(t.TempDir())
+	cfg.Enabled = false
+	c := New(cfg, 1)
+	if c == nil {
+		t.Fatal("active config produced nil collector")
+	}
+	if c.Enabled() || c.Sampling() || c.Tracing() {
+		t.Fatal("disabled collector reports activity")
+	}
+	if tap := c.RegisterLink("L0"); tap != nil {
+		t.Fatal("disabled collector handed out a tap")
+	}
+	c.AddSample(Sample{T: 1})
+	c.Decision(0, 0, 0, true, 1, 0)
+	if len(c.Samples()) != 0 || c.DecisionCounts() != (Decisions{}) || c.TraceLen() != 0 {
+		t.Fatal("disabled collector recorded something")
+	}
+	paths, err := c.Flush()
+	if err != nil || len(paths) != 0 {
+		t.Fatalf("disabled Flush wrote %v (err %v)", paths, err)
+	}
+}
+
+func TestRingWrapsAndCountsDropped(t *testing.T) {
+	c := New(Config{Enabled: true, TraceCapacity: 4}, 1)
+	tap := c.RegisterLink("L0")
+	for i := 0; i < 10; i++ {
+		tap.Enqueue(sim.Time(i)*sim.Second, i, 0, 100, int64(i), i)
+	}
+	if c.TraceLen() != 4 {
+		t.Fatalf("TraceLen = %d, want 4", c.TraceLen())
+	}
+	if c.TraceDropped() != 6 {
+		t.Fatalf("TraceDropped = %d, want 6", c.TraceDropped())
+	}
+	// Oldest-first order after wrapping: flows 6,7,8,9 survive.
+	var b strings.Builder
+	if err := c.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("trace lines = %d, want 4", len(lines))
+	}
+	for i, line := range lines {
+		var ev struct {
+			T    float64 `json:"t"`
+			Ev   string  `json:"ev"`
+			Flow int     `json:"flow"`
+			Kind string  `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if want := 6 + i; ev.Flow != want {
+			t.Fatalf("line %d flow = %d, want %d", i, ev.Flow, want)
+		}
+		if ev.Ev != "enqueue" || ev.Kind != "data" {
+			t.Fatalf("line %d = %+v", i, ev)
+		}
+	}
+}
+
+func TestTraceDecisionEvents(t *testing.T) {
+	c := New(Config{Enabled: true, TraceCapacity: 8}, 1)
+	c.Decision(2*sim.Second, 7, 1, true, 2, 0.005)
+	c.Decision(3*sim.Second, 8, 0, false, 1, 0.25)
+	if got := c.DecisionCounts(); got.Admitted != 1 || got.Rejected != 1 {
+		t.Fatalf("DecisionCounts = %+v", got)
+	}
+	var b strings.Builder
+	if err := c.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("trace lines = %d, want 2", len(lines))
+	}
+	var ev decisionEvent
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Ev != "reject" || ev.Flow != 8 || ev.Class != 0 || ev.Attempt != 1 || ev.Frac != 0.25 {
+		t.Fatalf("reject event = %+v", ev)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	c := New(enabledCfg(t.TempDir()), 1)
+	c.RegisterLink("L0")
+	c.AddSample(Sample{
+		T: 1, Link: 0, Depth: 3, Busy: true, ActiveFlows: 12, Util: 0.5,
+		VQBacklog: 100, Arrived: [2]int64{10, 5}, Dropped: [2]int64{1, 2},
+	})
+	var b strings.Builder
+	if err := c.WriteSeries(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("series lines = %d, want header + 1", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "t_s,link,depth,busy,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	want := "1.000000,L0,3,1,12,0.500000,100,10,1,0,0,5,2,0,0"
+	if lines[1] != want {
+		t.Fatalf("row = %q, want %q", lines[1], want)
+	}
+}
+
+func TestFlushWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	cfg := enabledCfg(dir)
+	c := New(cfg, 42)
+	tap := c.RegisterLink("L0")
+	tap.Enqueue(0, 0, 0, 100, 0, 1)
+	c.AddSample(Sample{T: 1, Link: 0})
+	paths, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeries := filepath.Join(dir, "t-s42-series.csv")
+	wantTrace := filepath.Join(dir, "t-s42-trace.jsonl")
+	if len(paths) != 2 || paths[0] != wantSeries || paths[1] != wantTrace {
+		t.Fatalf("Flush paths = %v", paths)
+	}
+	for _, p := range paths {
+		if b, err := os.ReadFile(p); err != nil || len(b) == 0 {
+			t.Fatalf("artifact %s: err %v, %d bytes", p, err, len(b))
+		}
+	}
+}
+
+func TestArtifactPathOverrides(t *testing.T) {
+	cfg := Config{Enabled: true, Dir: "d", Label: "x", MetricsInterval: sim.Second,
+		TraceCapacity: 4, TracePath: "custom.jsonl"}
+	series, trace := cfg.ArtifactPaths(7)
+	if series != filepath.Join("d", "x-s7-series.csv") {
+		t.Fatalf("series = %q", series)
+	}
+	if trace != "custom.jsonl" {
+		t.Fatalf("trace = %q", trace)
+	}
+	cfg.Enabled = false
+	if s, tr := cfg.ArtifactPaths(7); s != "" || tr != "" {
+		t.Fatalf("disabled paths = %q, %q", s, tr)
+	}
+	if got := cfg.ManifestPath(); got != filepath.Join("d", "x-manifest.json") {
+		t.Fatalf("manifest path = %q", got)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest()
+	if m.Schema != ManifestSchema || m.GoVersion == "" || m.NumCPU < 1 {
+		t.Fatalf("NewManifest = %+v", m)
+	}
+	m.Workers = 4
+	m.Seeds = []uint64{1, 2}
+	m.WallSeconds = 1.5
+	m.Config = map[string]any{"method": "eac"}
+	m.Summary = map[string]any{"utilization": 0.87}
+	m.Artifacts = []string{"a.csv"}
+	path := filepath.Join(t.TempDir(), "sub", "m.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != m.Schema || got.Workers != 4 || len(got.Seeds) != 2 ||
+		got.Config["method"] != "eac" || got.Artifacts[0] != "a.csv" {
+		t.Fatalf("round trip = %+v", got)
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"eac/internal/sim"
+)
+
+// Trace event kinds, in the order they appear in JSONL output.
+const (
+	evEnqueue uint8 = iota
+	evDequeue
+	evDrop
+	evMark
+	evAdmit
+	evReject
+)
+
+var evNames = [...]string{"enqueue", "dequeue", "drop", "mark", "admit", "reject"}
+
+// traceRec is the compact in-ring representation of one event. Packet
+// events use link/kind/a(size)/b(seq)/depth; admission decisions use
+// link = -1 with kind holding the class index, a the attempt count, and
+// frac the measured bad-packet fraction.
+type traceRec struct {
+	at    sim.Time
+	ev    uint8
+	kind  uint8
+	link  int16
+	flow  int32
+	depth int32
+	a, b  int64
+	frac  float32
+}
+
+// ring is a fixed-capacity event buffer that overwrites its oldest
+// entries; dropped counts the overwritten events.
+type ring struct {
+	buf     []traceRec
+	head    int // index of the oldest record
+	n       int
+	dropped int64
+}
+
+func (r *ring) push(rec traceRec) {
+	if len(r.buf) == 0 {
+		return
+	}
+	if r.n == len(r.buf) {
+		r.buf[r.head] = rec
+		r.head = (r.head + 1) % len(r.buf)
+		r.dropped++
+		return
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = rec
+	r.n++
+}
+
+func (r *ring) at(i int) traceRec { return r.buf[(r.head+i)%len(r.buf)] }
+
+// packetEvent is the JSONL form of a packet-level trace event.
+type packetEvent struct {
+	T     float64 `json:"t"`
+	Ev    string  `json:"ev"`
+	Link  string  `json:"link"`
+	Flow  int32   `json:"flow"`
+	Kind  string  `json:"kind"`
+	Size  int64   `json:"size"`
+	Seq   int64   `json:"seq"`
+	Depth int32   `json:"depth"`
+}
+
+// decisionEvent is the JSONL form of an admission decision.
+type decisionEvent struct {
+	T       float64 `json:"t"`
+	Ev      string  `json:"ev"`
+	Flow    int32   `json:"flow"`
+	Class   int     `json:"class"`
+	Attempt int64   `json:"attempt"`
+	Frac    float64 `json:"frac"`
+}
+
+var pktKindNames = [...]string{"data", "probe"}
+
+// TraceLen returns the number of buffered trace events.
+func (c *Collector) TraceLen() int {
+	if c == nil {
+		return 0
+	}
+	return c.trace.n
+}
+
+// TraceDropped returns how many events the ring discarded after filling.
+func (c *Collector) TraceDropped() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.trace.dropped
+}
+
+// WriteTrace renders the buffered events, oldest first, as JSONL — one
+// JSON object per line. Packet events carry link/kind/size/seq/depth;
+// admit/reject events carry class/attempt/frac.
+func (c *Collector) WriteTrace(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for i := 0; i < c.trace.n; i++ {
+		rec := c.trace.at(i)
+		var v any
+		if rec.ev == evAdmit || rec.ev == evReject {
+			v = decisionEvent{
+				T: rec.at.Sec(), Ev: evNames[rec.ev], Flow: rec.flow,
+				Class: int(rec.kind), Attempt: rec.a, Frac: float64(rec.frac),
+			}
+		} else {
+			kind := "data"
+			if int(rec.kind) < len(pktKindNames) {
+				kind = pktKindNames[rec.kind]
+			}
+			v = packetEvent{
+				T: rec.at.Sec(), Ev: evNames[rec.ev], Link: c.LinkName(int(rec.link)),
+				Flow: rec.flow, Kind: kind, Size: rec.a, Seq: rec.b, Depth: rec.depth,
+			}
+		}
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ import (
 
 	"eac/internal/admission"
 	"eac/internal/mbac"
+	"eac/internal/obs"
 	"eac/internal/sim"
 	"eac/internal/trafgen"
 )
@@ -142,6 +143,16 @@ type Config struct {
 	MaxRetries int
 	// RetryBackoffSec is the base back-off (default 5 s).
 	RetryBackoffSec float64
+
+	// Obs configures the run's observability collector (internal/obs):
+	// per-queue telemetry time series sampled on a sim-time interval, a
+	// ring-buffered packet/event trace exported as JSONL, and admission
+	// decision events. The zero value keeps observability fully disabled
+	// — no collector is constructed, the hot paths see only nil checks,
+	// and all metrics and logs are byte-identical to an unobserved run.
+	// Each seed's run constructs its own collector from this value, so
+	// parallel seed runs stay independent.
+	Obs obs.Config
 
 	// PrepopulateUtil, if positive, seeds the simulation at time zero
 	// with enough already-admitted flows to load link 0 to roughly this

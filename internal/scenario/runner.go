@@ -9,6 +9,7 @@ import (
 	"eac/internal/admission"
 	"eac/internal/mbac"
 	"eac/internal/netsim"
+	"eac/internal/obs"
 	"eac/internal/sim"
 	"eac/internal/stats"
 	"eac/internal/trafgen"
@@ -27,8 +28,10 @@ type flowState struct {
 
 	dataSeq           int64
 	winSent, winRecv  int64 // emitted/arrived within the accounting window
+	winDrop           int64 // window packets dropped at a router
 	sentAll, recvdAll int64
 	active            bool
+	lastFrac          float64 // bad-packet fraction of the last probe (EAC)
 }
 
 // Runner executes one configured scenario.
@@ -52,6 +55,12 @@ type Runner struct {
 	winStart, winEnd sim.Time // packet accounting window
 	decided          int64
 	retries          int64
+
+	// Observability (nil/inert by default; see Config.Obs and Observe).
+	obs         *obs.Collector
+	activeFlows int     // flows currently in their data phase
+	lastSample  sim.Time
+	lastBits    []int64 // per-link data bits at the previous sample
 
 	// End-to-end data delay statistics over the accounting window:
 	// Welford for the mean plus a 1 ms-bucket histogram for percentiles.
@@ -95,7 +104,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 			q = netsim.NewPriorityPushout(ls.BufferPkts)
 		}
 		l := netsim.NewLink(r.s, linkName(i), ls.RateBps, ls.Delay, q)
-		l.OnDrop = func(now sim.Time, p *netsim.Packet) { r.pool.Put(p) }
+		l.OnDrop = r.onLinkDrop
 		if cfg.Method == EAC {
 			switch cfg.AC.Design.Signal {
 			case admission.Mark:
@@ -116,7 +125,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 			l.OnArrive = func(now sim.Time, p *netsim.Packet) { lm.onArrive(now) }
 			l.OnDrop = func(now sim.Time, p *netsim.Packet) {
 				lm.onDrop(now)
-				r.pool.Put(p)
+				r.onLinkDrop(now, p)
 			}
 			r.monitors = append(r.monitors, lm)
 		}
@@ -125,7 +134,36 @@ func NewRunner(cfg Config) (*Runner, error) {
 	for i := range r.classes {
 		r.classes[i].Name = cfg.Classes[i].Name
 	}
+	if cfg.Obs.Active() {
+		r.Observe(obs.New(cfg.Obs, cfg.Seed))
+	}
 	return r, nil
+}
+
+// onLinkDrop is every link's drop hook: it books the loss against the
+// owning flow when the packet was a data packet emitted inside the
+// accounting window, then recycles the packet. Counting drops where they
+// happen (instead of inferring them as winSent-winRecv at the end) keeps
+// packets still in flight when the run ends out of the loss statistics.
+func (r *Runner) onLinkDrop(now sim.Time, p *netsim.Packet) {
+	if p.Kind == netsim.Data && p.SentAt >= r.winStart && p.SentAt <= r.winEnd {
+		r.flows[p.FlowID].winDrop++
+	}
+	r.pool.Put(p)
+}
+
+// Observe attaches a telemetry collector to the runner (normally done by
+// NewRunner from Config.Obs; exposed so tests can inject a
+// constructed-but-disabled collector). Must be called before Run. A nil
+// or disabled collector leaves every hot path untouched.
+func (r *Runner) Observe(c *obs.Collector) {
+	r.obs = c
+	if !c.Enabled() {
+		return
+	}
+	for _, l := range r.links {
+		l.Tap = c.RegisterLink(l.Name)
+	}
 }
 
 func linkName(i int) string { return fmt.Sprintf("L%d", i) }
@@ -138,11 +176,59 @@ func (r *Runner) Run() Metrics {
 			l.Stats.Reset(now)
 		}
 	})
+	if r.obs.Sampling() {
+		// Periodic per-queue sampling. The event only reads simulator
+		// state, so enabling it does not perturb the simulated dynamics.
+		r.lastBits = make([]int64, len(r.links))
+		iv := r.obs.Interval()
+		var ev *sim.Event
+		ev = sim.NewEvent(func(now sim.Time) {
+			r.sampleObs(now)
+			if now+iv <= r.cfg.Duration {
+				r.s.Schedule(ev, now+iv)
+			}
+		})
+		r.s.Schedule(ev, iv)
+	}
 	r.prepopulate()
 	r.scheduleNextArrival(0)
 	r.s.Run(r.cfg.Duration)
 	return r.metrics()
 }
+
+// sampleObs appends one time-series point per link: queue depth,
+// utilization over the elapsed interval, cumulative counters, shadow
+// backlog, and the active-flow count.
+func (r *Runner) sampleObs(now sim.Time) {
+	dt := (now - r.lastSample).Sec()
+	for i, l := range r.links {
+		bits := l.Stats.SentBits[netsim.Data]
+		if bits < r.lastBits[i] {
+			r.lastBits[i] = 0 // counters were reset at the warmup boundary
+		}
+		var util float64
+		if dt > 0 {
+			util = float64(bits-r.lastBits[i]) / (l.RateBps * dt)
+		}
+		r.lastBits[i] = bits
+		s := obs.Sample{
+			T: now.Sec(), Link: i, Depth: l.QueueLen(), Busy: l.Busy(),
+			ActiveFlows: r.activeFlows, Util: util,
+			Arrived: l.Stats.Arrived, Dropped: l.Stats.Dropped,
+			Marked: l.Stats.Marked, SentPkts: l.Stats.SentPkts,
+		}
+		if l.Marker != nil {
+			s.VQBacklog = l.Marker.TotalBacklog()
+		}
+		r.obs.AddSample(s)
+	}
+	r.lastSample = now
+}
+
+// FlushObs writes the attached collector's artifacts (time-series CSV,
+// event trace) and returns their paths. No-op without an enabled
+// collector.
+func (r *Runner) FlushObs() ([]string, error) { return r.obs.Flush() }
 
 // prepopulate seeds already-admitted flows per Config.PrepopulateUtil.
 func (r *Runner) prepopulate() {
@@ -261,6 +347,7 @@ func (r *Runner) startProbe(now sim.Time, f *flowState) {
 		f.route, &r.pool, func(res admission.Result) {
 			at := r.s.Now()
 			f.attempts++
+			f.lastFrac = res.Fraction
 			if res.Accepted {
 				r.recordDecision(at, f, true)
 				r.startData(at, f)
@@ -288,6 +375,7 @@ func flowAccepted(f *flowState) bool { return f.active }
 // active (data not yet started).
 func (r *Runner) recordDecision(now sim.Time, f *flowState, accepted bool) {
 	f.active = accepted
+	r.obs.Decision(now, f.id, f.class, accepted, f.attempts, f.lastFrac)
 	if now < r.winStart || now > r.winEnd {
 		return
 	}
@@ -307,10 +395,12 @@ func (r *Runner) startData(now sim.Time, f *flowState) {
 	cl := r.cfg.Classes[f.class]
 	f.src = cl.Preset.New(r.s, r.rngSrc, func(at sim.Time, size int) { r.emitData(at, f, size) })
 	f.src.Start(now)
+	r.activeFlows++
 	life := sim.Seconds(r.rngLife.Exp(r.cfg.LifetimeSec))
 	f.stopEv = r.s.Call(now+life, func(sim.Time) {
 		f.src.Stop()
 		f.active = false
+		r.activeFlows--
 	})
 }
 
@@ -361,16 +451,17 @@ func (r *Runner) metrics() Metrics {
 	var m Metrics
 	m.Classes = make([]ClassMetrics, len(r.classes))
 	copy(m.Classes, r.classes)
+	// Loss counts actual router drops of window packets (winDrop), not
+	// the winSent-winRecv difference: a packet emitted inside the window
+	// but still in flight when the run ends was neither delivered nor
+	// lost, and must not inflate the loss probability (it used to, when
+	// Drain was shorter than the path's queueing+propagation delay).
 	var sent, lost int64
 	for _, f := range r.flows {
-		s, rc := f.winSent, f.winRecv
-		if rc > s {
-			rc = s // clock-edge packets; never count negative loss
-		}
-		m.Classes[f.class].DataSent += s
-		m.Classes[f.class].DataLost += s - rc
-		sent += s
-		lost += s - rc
+		m.Classes[f.class].DataSent += f.winSent
+		m.Classes[f.class].DataLost += f.winDrop
+		sent += f.winSent
+		lost += f.winDrop
 	}
 	if sent > 0 {
 		m.DataLossProb = float64(lost) / float64(sent)
@@ -426,13 +517,18 @@ func (r *Runner) delayPercentile(q float64) float64 {
 	return float64(len(r.delayHist)) / 1000
 }
 
-// Run executes a single scenario run.
+// Run executes a single scenario run. With observability enabled
+// (Config.Obs) the run's artifacts are flushed before returning.
 func Run(cfg Config) (Metrics, error) {
 	r, err := NewRunner(cfg)
 	if err != nil {
 		return Metrics{}, err
 	}
-	return r.Run(), nil
+	m := r.Run()
+	if _, err := r.FlushObs(); err != nil {
+		return m, err
+	}
+	return m, nil
 }
 
 // RunSeeds runs the scenario once per seed and aggregates, mirroring the
