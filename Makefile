@@ -1,7 +1,7 @@
 # Tier-1 flow: `make ci` is what a checkin must keep green.
 GO ?= go
 
-.PHONY: build test race vet bench cover ci
+.PHONY: build test race vet bench cover ci conformance update-golden fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -34,4 +34,33 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem -timeout 60m
 
-ci: build test race
+# conformance runs the validation harness on its own: golden-figure
+# regression, simulator<->fluid cross-validation, and the invariant
+# suite. The same tests are part of `make test`; this target is the
+# focused loop while editing experiments. See TESTING.md.
+conformance:
+	$(GO) test ./internal/conformance/... -v
+
+# update-golden regenerates the golden CSVs after an intentional change
+# to experiment output. Inspect the diff before committing.
+update-golden:
+	$(GO) test ./internal/conformance -run TestGolden -update
+
+# fuzz-smoke gives each native fuzz target a short budget (Go runs one
+# -fuzz pattern per invocation, hence one line per target). A finding
+# fails the run and writes its reproducer under the package's
+# testdata/fuzz/ directory, which should be committed.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/sim -run '^$$' -fuzz '^FuzzEventHeap$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netsim -run '^$$' -fuzz '^FuzzDropTail$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netsim -run '^$$' -fuzz '^FuzzPriorityPushout$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netsim -run '^$$' -fuzz '^FuzzRED$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netsim -run '^$$' -fuzz '^FuzzVirtualQueue$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/admission -run '^$$' -fuzz '^FuzzProbeLossFraction$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stats -run '^$$' -fuzz '^FuzzWelford$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stats -run '^$$' -fuzz '^FuzzWindowMax$$' -fuzztime $(FUZZTIME)
+
+# The conformance harness runs inside `make test` (it is part of the
+# ordinary suite); fuzz-smoke is the only extra tier-1 step.
+ci: build test race fuzz-smoke

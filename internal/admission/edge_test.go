@@ -1,0 +1,207 @@
+package admission_test
+
+import (
+	"testing"
+
+	"eac/internal/admission"
+	"eac/internal/netsim"
+	"eac/internal/sim"
+)
+
+// probeFate scripts what the path does to one probe packet.
+type probeFate byte
+
+const (
+	deliver probeFate = iota
+	drop
+	mark // set the ECN bit, then deliver
+)
+
+// scriptedPath is a probe route whose per-packet fate is a deterministic
+// function of the packet's sequence number.
+type scriptedPath struct {
+	prober *admission.Prober
+	pool   *netsim.Pool
+	fate   func(seq int64) probeFate
+
+	delivered int64
+}
+
+func (sp *scriptedPath) Receive(now sim.Time, p *netsim.Packet) {
+	switch sp.fate(p.Seq) {
+	case drop:
+		sp.pool.Put(p)
+		return
+	case mark:
+		p.Marked = true
+	}
+	sp.delivered++
+	sp.prober.OnProbeArrival(now, p)
+	sp.pool.Put(p)
+}
+
+// TestProberEdgeCases pins the admission decision on the boundary inputs
+// the paper's threshold rule must get right: a measured fraction exactly
+// at epsilon (admit — the rule is "at or below"), one loss beyond it,
+// total probe starvation, single-packet probes, and fully marked streams
+// under both signals.
+//
+// The base config sends exactly 256 probe packets (1 s at 256 kb/s in
+// 125-byte packets), so eps = 8/256 makes "exactly eight bad packets"
+// land precisely on the threshold with exact binary arithmetic.
+func TestProberEdgeCases(t *testing.T) {
+	const nProbe = 256
+	cases := []struct {
+		name       string
+		design     admission.Design
+		kind       admission.ProberKind
+		eps        float64
+		probeDur   sim.Time
+		fate       func(seq int64) probeFate
+		wantAccept bool
+		check      func(t *testing.T, r admission.Result, sp *scriptedPath)
+	}{
+		{
+			name:     "fraction exactly at eps accepts",
+			design:   admission.DropInBand,
+			eps:      8.0 / nProbe,
+			probeDur: 1 * sim.Second,
+			fate: func(seq int64) probeFate {
+				if seq < 8 {
+					return drop
+				}
+				return deliver
+			},
+			wantAccept: true,
+			check: func(t *testing.T, r admission.Result, sp *scriptedPath) {
+				if r.Fraction != 8.0/nProbe {
+					t.Errorf("fraction %v, want exactly %v", r.Fraction, 8.0/nProbe)
+				}
+				if r.Sent != nProbe || r.Lost != 8 {
+					t.Errorf("sent=%d lost=%d, want %d/8", r.Sent, r.Lost, nProbe)
+				}
+			},
+		},
+		{
+			name:     "one loss beyond eps rejects",
+			design:   admission.DropInBand,
+			eps:      8.0 / nProbe,
+			probeDur: 1 * sim.Second,
+			fate: func(seq int64) probeFate {
+				if seq < 9 {
+					return drop
+				}
+				return deliver
+			},
+			wantAccept: false,
+		},
+		{
+			name:       "zero probe packets received rejects",
+			design:     admission.DropOutOfBand,
+			eps:        8.0 / nProbe,
+			probeDur:   1 * sim.Second,
+			fate:       func(int64) probeFate { return drop },
+			wantAccept: false,
+			check: func(t *testing.T, r admission.Result, sp *scriptedPath) {
+				if sp.delivered != 0 {
+					t.Fatalf("harness delivered %d packets", sp.delivered)
+				}
+				// Starvation must be detected by the probe-schedule clock
+				// (periodicCheck), well before the full probe duration.
+				if r.Elapsed >= 1*sim.Second {
+					t.Errorf("starved probe took the full duration (%v)", r.Elapsed)
+				}
+				if r.Fraction != 1 {
+					t.Errorf("fraction %v, want 1 for total starvation", r.Fraction)
+				}
+			},
+		},
+		{
+			name:       "single delivered probe accepts",
+			design:     admission.DropInBand,
+			eps:        0,
+			probeDur:   2 * sim.Millisecond, // shorter than one packet interval
+			fate:       func(int64) probeFate { return deliver },
+			wantAccept: true,
+			check: func(t *testing.T, r admission.Result, sp *scriptedPath) {
+				if r.Sent != 1 {
+					t.Errorf("sent %d probes, want 1", r.Sent)
+				}
+			},
+		},
+		{
+			name:       "single dropped probe rejects",
+			design:     admission.DropInBand,
+			eps:        0,
+			probeDur:   2 * sim.Millisecond,
+			fate:       func(int64) probeFate { return drop },
+			wantAccept: false,
+			check: func(t *testing.T, r admission.Result, sp *scriptedPath) {
+				if r.Sent != 1 || r.Lost != 1 {
+					t.Errorf("sent=%d lost=%d, want 1/1", r.Sent, r.Lost)
+				}
+			},
+		},
+		{
+			name:       "fully marked stream rejects under mark signal",
+			design:     admission.MarkInBand,
+			eps:        8.0 / nProbe,
+			probeDur:   1 * sim.Second,
+			fate:       func(int64) probeFate { return mark },
+			wantAccept: false,
+			check: func(t *testing.T, r admission.Result, sp *scriptedPath) {
+				if r.Marked < 9 {
+					t.Errorf("rejected after %d marks, early stop needs at least 9", r.Marked)
+				}
+				if r.Elapsed >= 1*sim.Second {
+					t.Errorf("100%% marks should stop probing early, took %v", r.Elapsed)
+				}
+			},
+		},
+		{
+			name:       "fully marked stream is invisible to drop signal",
+			design:     admission.DropInBand,
+			eps:        0,
+			probeDur:   1 * sim.Second,
+			fate:       func(int64) probeFate { return mark },
+			wantAccept: true,
+			check: func(t *testing.T, r admission.Result, sp *scriptedPath) {
+				if r.Marked != nProbe {
+					t.Errorf("marked %d, want %d", r.Marked, nProbe)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := admission.Config{
+				Design:   tc.design,
+				Kind:     tc.kind,
+				Eps:      tc.eps,
+				ProbeDur: tc.probeDur,
+				Guard:    50 * sim.Millisecond,
+			}
+			s := sim.New()
+			var pool netsim.Pool
+			sp := &scriptedPath{pool: &pool, fate: tc.fate}
+			var results []admission.Result
+			p := admission.NewProber(s, cfg, 0, 256e3, 125, []netsim.Receiver{sp}, &pool,
+				func(r admission.Result) { results = append(results, r) })
+			sp.prober = p
+			p.Start(0)
+			s.RunAll()
+
+			if len(results) != 1 {
+				t.Fatalf("done callback fired %d times", len(results))
+			}
+			r := results[0]
+			if r.Accepted != tc.wantAccept {
+				t.Fatalf("accepted=%v, want %v (result %+v)", r.Accepted, tc.wantAccept, r)
+			}
+			if tc.check != nil {
+				tc.check(t, r, sp)
+			}
+		})
+	}
+}

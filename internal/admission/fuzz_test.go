@@ -1,0 +1,106 @@
+package admission_test
+
+import (
+	"testing"
+
+	"eac/internal/admission"
+	"eac/internal/netsim"
+	"eac/internal/sim"
+)
+
+// lossyChannel is a probe path whose per-packet fate (deliver, drop,
+// mark) is dictated by the fuzz input, simulating any loss/mark pattern a
+// network could produce.
+type lossyChannel struct {
+	pattern []byte
+	i       int
+	prober  *admission.Prober
+	pool    *netsim.Pool
+
+	delivered, dropped, marked int64
+}
+
+func (ch *lossyChannel) Receive(now sim.Time, p *netsim.Packet) {
+	fate := byte(0)
+	if len(ch.pattern) > 0 {
+		fate = ch.pattern[ch.i%len(ch.pattern)]
+		ch.i++
+	}
+	switch fate % 4 {
+	case 0, 1: // deliver clean (weighted: half the fates)
+	case 2: // drop
+		ch.dropped++
+		ch.pool.Put(p)
+		return
+	case 3: // mark, then deliver
+		p.Marked = true
+		ch.marked++
+	}
+	ch.delivered++
+	ch.prober.OnProbeArrival(now, p)
+	ch.pool.Put(p)
+}
+
+// FuzzProbeLossFraction runs a complete probe handshake against an
+// arbitrary loss/mark pattern and checks the estimator's contract: the
+// decision callback fires exactly once, the measured fraction is a valid
+// probability, the packet accounting balances, a clean path is always
+// admitted, and an accepted flow measured at most eps bad packets in its
+// deciding stage.
+//
+// Run with: go test ./internal/admission -fuzz FuzzProbeLossFraction
+func FuzzProbeLossFraction(f *testing.F) {
+	f.Add(uint8(0), uint8(0), float64(0.05), []byte{})
+	f.Add(uint8(1), uint8(0), float64(0.0), []byte{2, 0, 0, 0})
+	f.Add(uint8(2), uint8(1), float64(0.1), []byte{3, 3, 3, 3})
+	f.Add(uint8(0), uint8(1), float64(0.5), []byte{0, 2, 3, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, kindB, signalB uint8, eps float64, pattern []byte) {
+		if eps < 0 || eps > 1 {
+			t.Skip()
+		}
+		cfg := admission.Config{
+			Design: admission.Design{
+				Signal: admission.Signal(signalB % 2), // Drop or Mark
+				Band:   admission.InBand,
+			},
+			Kind:     admission.ProberKind(kindB % 3),
+			Eps:      eps,
+			ProbeDur: 1 * sim.Second,
+			StageDur: 200 * sim.Millisecond,
+			Guard:    50 * sim.Millisecond,
+		}
+		s := sim.New()
+		var pool netsim.Pool
+		ch := &lossyChannel{pattern: pattern, pool: &pool}
+
+		var results []admission.Result
+		p := admission.NewProber(s, cfg, 0, 256e3, 125, []netsim.Receiver{ch}, &pool,
+			func(r admission.Result) { results = append(results, r) })
+		ch.prober = p
+		p.Start(0)
+		s.RunAll()
+
+		if len(results) != 1 {
+			t.Fatalf("done callback fired %d times", len(results))
+		}
+		r := results[0]
+		if r.Fraction < 0 || r.Fraction > 1 {
+			t.Fatalf("fraction %v outside [0,1]", r.Fraction)
+		}
+		if r.Sent < 0 || r.Lost < 0 || r.Lost > r.Sent || r.Marked > r.Sent {
+			t.Fatalf("accounting: sent=%d lost=%d marked=%d", r.Sent, r.Lost, r.Marked)
+		}
+		if r.Sent != ch.delivered+ch.dropped {
+			t.Fatalf("channel saw %d packets, prober sent %d", ch.delivered+ch.dropped, r.Sent)
+		}
+		if r.Elapsed < 0 || r.Elapsed > cfg.ProbeDur+cfg.Guard {
+			t.Fatalf("elapsed %v outside probe window", r.Elapsed)
+		}
+		if ch.dropped == 0 && ch.marked == 0 && !r.Accepted {
+			t.Fatalf("clean path rejected: %+v", r)
+		}
+		if r.Accepted && r.Fraction > eps {
+			t.Fatalf("accepted with fraction %v > eps %v", r.Fraction, eps)
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestToleranceCellMatches(t *testing.T) {
+	cases := []struct {
+		name      string
+		tol       Tolerance
+		want, got string
+		match     bool
+	}{
+		{"exact equal", Tolerance{}, "0.1234", "0.1234", true},
+		{"exact differs", Tolerance{}, "0.1234", "0.1235", false},
+		{"exact non-numeric", Tolerance{}, "drop (in-band)", "drop (in-band)", true},
+		{"rel within", Tolerance{Rel: 1e-2}, "100", "100.5", true},
+		{"rel outside", Tolerance{Rel: 1e-3}, "100", "100.5", false},
+		{"abs within", Tolerance{Abs: 0.01}, "0.000", "0.005", true},
+		{"abs outside", Tolerance{Abs: 0.001}, "0.000", "0.005", false},
+		{"zero golden nonzero got", Tolerance{Rel: 0.1}, "0.000e+00", "1.000e-03", false},
+		{"non-numeric under band", Tolerance{Rel: 0.1}, "drop", "mark", false},
+		{"scientific notation", Tolerance{Rel: 1e-2}, "1.000e-05", "1.005e-05", true},
+		{"negative values", Tolerance{Rel: 1e-2}, "-2.0", "-2.01", true},
+	}
+	for _, c := range cases {
+		if got := c.tol.cellMatches(c.want, c.got); got != c.match {
+			t.Errorf("%s: cellMatches(%q, %q) = %v, want %v", c.name, c.want, c.got, got, c.match)
+		}
+	}
+}
+
+func TestDiffCSVStructural(t *testing.T) {
+	if _, err := DiffCSV("a,b\n1,2\n", "a,b\n", Tolerance{}); err == nil {
+		t.Fatal("row-count mismatch not reported")
+	}
+	if _, err := DiffCSV("a,b\n", "a,b,c\n", Tolerance{Rel: 1}); err == nil {
+		t.Fatal("column-count mismatch not reported (tolerance must not excuse structure)")
+	}
+	// Trailing-newline difference is not structural.
+	diffs, err := DiffCSV("a,b\n1,2\n", "a,b\n1,2", Tolerance{})
+	if err != nil || len(diffs) != 0 {
+		t.Fatalf("trailing newline treated as drift: diffs=%v err=%v", diffs, err)
+	}
+}
+
+func TestDiffCSVReportsCells(t *testing.T) {
+	want := "design,utilization,loss\nfoo,0.90,1.0e-03\nbar,0.80,2.0e-03\n"
+	got := "design,utilization,loss\nfoo,0.90,1.0e-03\nbar,0.85,2.0e-03\n"
+	diffs, err := DiffCSV(want, got, Tolerance{Rel: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 {
+		t.Fatalf("diffs = %v, want exactly the utilization cell", diffs)
+	}
+	d := diffs[0]
+	if d.Row != 2 || d.ColName != "utilization" || d.Want != "0.80" || d.Got != "0.85" {
+		t.Fatalf("wrong diff: %+v", d)
+	}
+	report := RenderDiff(diffs, Tolerance{Rel: 1e-3}, 20)
+	for _, frag := range []string{"utilization", "0.80", "0.85", "1 cell(s) differ"} {
+		if !strings.Contains(report, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, report)
+		}
+	}
+}
+
+func TestRenderDiffTruncates(t *testing.T) {
+	diffs := make([]CellDiff, 30)
+	for i := range diffs {
+		diffs[i] = CellDiff{Row: i, Col: 0, Want: "a", Got: "b"}
+	}
+	report := RenderDiff(diffs, Tolerance{}, 5)
+	if !strings.Contains(report, "and 25 more") {
+		t.Fatalf("missing truncation marker:\n%s", report)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if err := Compare("a\n1\n", "a\n1\n", Tolerance{}); err != nil {
+		t.Fatalf("identical documents rejected: %v", err)
+	}
+	if err := Compare("a\n1\n", "a\n2\n", Tolerance{}); err == nil {
+		t.Fatal("differing documents accepted")
+	}
+}

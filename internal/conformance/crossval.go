@@ -1,0 +1,164 @@
+package conformance
+
+import (
+	"fmt"
+	"strings"
+
+	"eac/internal/admission"
+	"eac/internal/fluid"
+	"eac/internal/scenario"
+	"eac/internal/sim"
+	"eac/internal/trafgen"
+)
+
+// CrossConfig is the shared description of an M/M-style admission setup
+// that both the packet simulator and the analytic fluid model understand:
+// Poisson flow arrivals, exponential lifetimes, constant-bit-rate flows on
+// a single bottleneck, in-band probing at the flow rate for a fixed probe
+// duration. FluidParams and ScenarioConfig derive each backend's native
+// configuration from the one set of numbers, so the two can never drift
+// apart silently.
+type CrossConfig struct {
+	Name      string
+	Lambda    float64 // flow arrival rate, 1/s
+	TlifeSec  float64 // mean accepted-flow lifetime, s
+	TprobeSec float64 // probe duration, s
+	CapBps    float64 // bottleneck capacity C, bits/s
+	RateBps   float64 // per-flow (and probe) rate r, bits/s
+	Eps       float64 // acceptance threshold
+
+	// Sim-only knobs with no fluid counterpart. BufferPkts should stay
+	// small: the fluid model is bufferless, and a deep buffer absorbs
+	// exactly the loss the fluid model predicts.
+	BufferPkts int
+	Duration   sim.Time
+	Warmup     sim.Time
+}
+
+// OfferedLoad returns lambda * Tlife * r / C, the offered data load as a
+// fraction of capacity.
+func (cc CrossConfig) OfferedLoad() float64 {
+	return cc.Lambda * cc.TlifeSec * cc.RateBps / cc.CapBps
+}
+
+// FluidParams maps the shared config onto the analytic model.
+func (cc CrossConfig) FluidParams() fluid.Params {
+	return fluid.Params{
+		Lambda:  cc.Lambda,
+		Tlife:   cc.TlifeSec,
+		Tprobe:  cc.TprobeSec,
+		CapBps:  cc.CapBps,
+		RateBps: cc.RateBps,
+		Eps:     cc.Eps,
+	}
+}
+
+// ScenarioConfig maps the shared config onto the packet simulator: CBR
+// flows (the fluid model's smooth per-flow load), a single bottleneck
+// link, and the Simple prober kind (probe for the full duration, then
+// judge — the fluid model's fixed probe time).
+func (cc CrossConfig) ScenarioConfig() scenario.Config {
+	pktSize := 125
+	return scenario.Config{
+		Name: cc.Name,
+		Classes: []scenario.ClassSpec{{
+			Name:   "CBR",
+			Preset: trafgen.NewCBRPreset(cc.RateBps, pktSize),
+			Weight: 1,
+			Eps:    -1,
+		}},
+		Links:        []scenario.LinkSpec{{RateBps: cc.CapBps, BufferPkts: cc.BufferPkts}},
+		InterArrival: 1 / cc.Lambda,
+		LifetimeSec:  cc.TlifeSec,
+		Method:       scenario.EAC,
+		AC: admission.Config{
+			Design:   admission.Design{Signal: admission.Drop, Band: admission.InBand},
+			Kind:     admission.Simple,
+			Eps:      cc.Eps,
+			ProbeDur: sim.Seconds(cc.TprobeSec),
+		},
+		Duration: cc.Duration,
+		Warmup:   cc.Warmup,
+		// Start near steady state so shortened runs are meaningful; the
+		// accepted population can never usefully exceed capacity, so cap
+		// the seeded load below it.
+		PrepopulateUtil: minf(cc.OfferedLoad(), 0.85),
+	}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CrossBounds is the documented agreement envelope between the two
+// backends for one setup. Both are absolute differences: the quantities
+// compared are fractions in [0, 1], so absolute bounds are the honest
+// statement (a relative bound on a near-zero blocking probability would
+// be vacuous or impossible depending on the side).
+type CrossBounds struct {
+	UtilAbs  float64 // |sim util - fluid util|
+	BlockAbs float64 // |sim blocking - fluid blocking|
+}
+
+// CrossResult holds both backends' answers for one shared config.
+type CrossResult struct {
+	Config CrossConfig
+	Fluid  fluid.Result
+	Sim    scenario.Metrics
+}
+
+// CrossValidate runs both backends on the shared config (the simulator
+// over the given seeds, averaged) and returns the paired results.
+func CrossValidate(cc CrossConfig, seeds []uint64) (CrossResult, error) {
+	fr, err := fluid.Solve(cc.FluidParams())
+	if err != nil {
+		return CrossResult{}, fmt.Errorf("fluid solve: %w", err)
+	}
+	mm, err := scenario.RunSeeds(cc.ScenarioConfig(), seeds)
+	if err != nil {
+		return CrossResult{}, fmt.Errorf("scenario run: %w", err)
+	}
+	return CrossResult{Config: cc, Fluid: fr, Sim: mm.Mean}, nil
+}
+
+// Check compares the two backends within the given bounds. On failure the
+// error carries the full side-by-side report, so the divergence is
+// readable without rerunning anything.
+func (r CrossResult) Check(b CrossBounds) error {
+	var bad []string
+	if d := absf(r.Sim.Utilization - r.Fluid.Utilization); d > b.UtilAbs {
+		bad = append(bad, fmt.Sprintf("utilization differs by %.4f (bound %.4f)", d, b.UtilAbs))
+	}
+	if d := absf(r.Sim.BlockingProb - r.Fluid.Blocking); d > b.BlockAbs {
+		bad = append(bad, fmt.Sprintf("blocking differs by %.4f (bound %.4f)", d, b.BlockAbs))
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("simulator and fluid model disagree on %q:\n  %s\n%s",
+		r.Config.Name, strings.Join(bad, "\n  "), r.Report())
+}
+
+// Report renders a side-by-side comparison table.
+func (r CrossResult) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cross-validation %q (offered load %.2f):\n", r.Config.Name, r.Config.OfferedLoad())
+	fmt.Fprintf(&sb, "  %-14s %10s %10s %10s\n", "metric", "simulator", "fluid", "delta")
+	row := func(name string, s, f float64) {
+		fmt.Fprintf(&sb, "  %-14s %10.4f %10.4f %+10.4f\n", name, s, f, s-f)
+	}
+	row("utilization", r.Sim.Utilization, r.Fluid.Utilization)
+	row("blocking", r.Sim.BlockingProb, r.Fluid.Blocking)
+	row("data loss", r.Sim.DataLossProb, r.Fluid.DataLoss)
+	return sb.String()
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

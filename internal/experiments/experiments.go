@@ -47,6 +47,11 @@ type Options struct {
 	// and Progress lines are byte-identical for every worker count; only
 	// wall-clock time changes.
 	Workers int
+	// Sparse thins the sweep grids (two epsilon values per band, one MBAC
+	// target) so a full regeneration of every experiment stays cheap. The
+	// conformance harness uses it for golden-figure regression, where grid
+	// coverage matters less than exercising every experiment's code path.
+	Sparse bool
 	// Progress, if set, receives one line per completed sweep point, in
 	// declaration order regardless of Workers.
 	Progress func(format string, args ...any)
@@ -70,6 +75,22 @@ func Quick() Options { return Options{Quick: true} }
 
 // Paper returns publication-scale options.
 func Paper() Options { return Options{} }
+
+// Conformance returns the reduced-but-deterministic options the golden
+// regression suite (internal/conformance) runs every experiment with:
+// quick-mode dynamics, short runs, one seed, sparse sweep grids. The
+// absolute numbers at this scale are noisy; what matters is that they are
+// a pure function of the experiment code, so any behavioural drift in the
+// simulator, the admission designs, or the sweep engine changes them.
+func Conformance() Options {
+	return Options{
+		Quick:    true,
+		Sparse:   true,
+		Seeds:    1,
+		Duration: 60 * sim.Second,
+		Warmup:   15 * sim.Second,
+	}
+}
 
 func (o Options) seeds() []uint64 {
 	n := o.Seeds
@@ -206,20 +227,29 @@ func (t Table) CSV() string {
 // The paper's epsilon sweeps (Section 3.2): in-band designs use
 // 0..0.05, out-of-band designs 0..0.20.
 var (
-	inBandEps    = []float64{0, 0.01, 0.02, 0.03, 0.04, 0.05}
-	outBandEps   = []float64{0, 0.05, 0.10, 0.15, 0.20}
-	mbacTargets  = []float64{0.85, 0.90, 0.95, 1.00, 1.05}
-	quickInEps   = []float64{0, 0.01, 0.03, 0.05}
-	quickOutEps  = []float64{0, 0.05, 0.10, 0.20}
-	quickTargets = []float64{0.90, 1.00}
+	inBandEps     = []float64{0, 0.01, 0.02, 0.03, 0.04, 0.05}
+	outBandEps    = []float64{0, 0.05, 0.10, 0.15, 0.20}
+	mbacTargets   = []float64{0.85, 0.90, 0.95, 1.00, 1.05}
+	quickInEps    = []float64{0, 0.01, 0.03, 0.05}
+	quickOutEps   = []float64{0, 0.05, 0.10, 0.20}
+	quickTargets  = []float64{0.90, 1.00}
+	sparseInEps   = []float64{0, 0.05}
+	sparseOutEps  = []float64{0, 0.20}
+	sparseTargets = []float64{0.95}
 )
 
 func (o Options) epsFor(d admission.Design) []float64 {
 	if d.Band == admission.OutOfBand {
+		if o.Sparse {
+			return sparseOutEps
+		}
 		if o.Quick {
 			return quickOutEps
 		}
 		return outBandEps
+	}
+	if o.Sparse {
+		return sparseInEps
 	}
 	if o.Quick {
 		return quickInEps
@@ -228,6 +258,9 @@ func (o Options) epsFor(d admission.Design) []float64 {
 }
 
 func (o Options) targets() []float64 {
+	if o.Sparse {
+		return sparseTargets
+	}
 	if o.Quick {
 		return quickTargets
 	}

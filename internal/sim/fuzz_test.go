@@ -1,0 +1,78 @@
+package sim_test
+
+import (
+	"testing"
+
+	"eac/internal/conformance/invariants"
+	"eac/internal/sim"
+)
+
+// FuzzEventHeap drives the event heap with arbitrary interleavings of
+// Schedule, Cancel, Reschedule and partial Run calls against a reference
+// model, then checks the discrete-event contract: dispatch times are
+// monotone, every scheduled (and not cancelled) firing happens exactly
+// once, and the queue drains completely.
+//
+// Run with: go test ./internal/sim -fuzz FuzzEventHeap
+func FuzzEventHeap(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 3, 3, 200, 0, 5})
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 2, 0, 3, 0})
+	f.Add([]byte{0, 10, 2, 10, 2, 10, 1, 0, 3, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nEvents = 8
+		s := sim.New()
+		var c invariants.Checker
+		clock := c.Clock("dispatch")
+
+		fires := make([]int, nEvents)
+		expected := make([]int, nEvents)
+		events := make([]*sim.Event, nEvents)
+		for i := 0; i < nEvents; i++ {
+			i := i
+			events[i] = sim.NewEvent(func(now sim.Time) {
+				clock.Observe(now)
+				fires[i]++
+			})
+		}
+
+		for k := 0; k+1 < len(data); k += 2 {
+			op, arg := data[k], sim.Time(data[k+1])
+			e := events[int(op)%nEvents]
+			switch (op / 8) % 4 {
+			case 0: // schedule (skip if pending: Schedule panics by contract)
+				if !e.Pending() {
+					s.Schedule(e, s.Now()+arg)
+					expected[int(op)%nEvents]++
+				}
+			case 1: // cancel
+				if e.Pending() {
+					expected[int(op)%nEvents]--
+				}
+				s.Cancel(e)
+			case 2: // reschedule (moves a pending firing, adds one otherwise)
+				if !e.Pending() {
+					expected[int(op)%nEvents]++
+				}
+				s.Reschedule(e, s.Now()+arg)
+			case 3: // partial run
+				s.Run(s.Now() + arg)
+			}
+		}
+		s.RunAll()
+
+		if s.Len() != 0 {
+			c.Violationf("queue not drained: %d pending after RunAll", s.Len())
+		}
+		for i := range events {
+			if fires[i] != expected[i] {
+				c.Violationf("event %d fired %d times, expected %d", i, fires[i], expected[i])
+			}
+			if events[i].Pending() {
+				c.Violationf("event %d still pending after RunAll", i)
+			}
+		}
+		if err := c.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -76,6 +76,20 @@ var (
 	}
 )
 
+// NewCBRPreset returns a constant-bit-rate preset with a one-packet token
+// bucket. The fluid model of internal/fluid assumes each flow loads the
+// link at exactly its rate r; cross-validation runs use this preset so the
+// simulated traffic matches that assumption.
+func NewCBRPreset(rateBps float64, pktSize int) Preset {
+	return Preset{
+		Name:      fmt.Sprintf("CBR-%.0fk", rateBps/1e3),
+		TokenRate: rateBps, BucketBytes: pktSize, PktSize: pktSize, AvgRate: rateBps,
+		build: func(s *sim.Sim, rng *stats.RNG, emit EmitFunc) Source {
+			return NewCBR(s, rateBps, pktSize, emit)
+		},
+	}
+}
+
 // Presets maps preset names to their definitions.
 var Presets = map[string]Preset{
 	"EXP1":     EXP1,

@@ -68,7 +68,12 @@ func (c *CBR) Stop() {
 
 func (c *CBR) tick(now sim.Time) {
 	c.emit(now, c.pktSize)
-	c.s.Schedule(c.ev, now+c.interval())
+	// emit may deliver synchronously (zero-delay routes) and the receiver
+	// may Stop this source — e.g. a prober rejecting on the packet it just
+	// sent; rescheduling unconditionally would tick forever.
+	if c.active {
+		c.s.Schedule(c.ev, now+c.interval())
+	}
 }
 
 // OnOff alternates between an on state, during which it emits fixed-size
@@ -172,6 +177,9 @@ func (o *OnOff) tick(now sim.Time) {
 		return
 	}
 	o.emit(now, o.pktSize)
+	if !o.active { // stopped from inside emit (see CBR.tick)
+		return
+	}
 	next := now + o.interval()
 	if next > o.onEnd {
 		next = o.onEnd // fires the off transition
