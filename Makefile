@@ -1,7 +1,7 @@
 # Tier-1 flow: `make ci` is what a checkin must keep green.
 GO ?= go
 
-.PHONY: build test race vet bench cover ci conformance update-golden fuzz-smoke
+.PHONY: build test race vet bench bench-hotpath cover ci conformance update-golden fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,14 @@ cover:
 # observability cost record to results/BENCH_obs.json.
 bench:
 	$(GO) test -bench=. -benchmem -timeout 60m
+
+# bench-hotpath reruns the single-run macro-benchmarks (one congested
+# link, one 10-node chain; fixed seeds) and rewrites
+# results/BENCH_hotpath.json with the pinned pre-overhaul baseline next
+# to the fresh numbers. See bench_hotpath_test.go for how the baseline
+# was measured and when to re-pin it.
+bench-hotpath:
+	$(GO) test -run '^$$' -bench BenchmarkHotPath -benchmem -benchtime 5x -timeout 30m .
 
 # conformance runs the validation harness on its own: golden-figure
 # regression, simulator<->fluid cross-validation, and the invariant

@@ -25,13 +25,13 @@ func crossCases() []crossCase {
 			tlife   = 30.0
 		)
 		return CrossConfig{
-			Name:      name,
-			Lambda:    offered * capBps / (tlife * rateBps),
-			TlifeSec:  tlife,
-			TprobeSec: 1.0,
-			CapBps:    capBps,
-			RateBps:   rateBps,
-			Eps:       0.02,
+			Name:       name,
+			Lambda:     offered * capBps / (tlife * rateBps),
+			TlifeSec:   tlife,
+			TprobeSec:  1.0,
+			CapBps:     capBps,
+			RateBps:    rateBps,
+			Eps:        0.02,
 			BufferPkts: 25,
 			Duration:   600 * sim.Second,
 			Warmup:     150 * sim.Second,

@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"testing"
+
+	"eac/internal/sim"
+)
+
+// poolSink terminates routes and recycles packets, like the scenario
+// runner's sink does.
+type poolSink struct{ pool *Pool }
+
+func (ps *poolSink) Receive(_ sim.Time, p *Packet) { ps.pool.Put(p) }
+
+// TestSteadyStatePacketPathZeroAlloc drives a congested link — data plus
+// probe traffic through a marking virtual queue and a pushout discipline,
+// with drops recycled — past its warmup transient, then requires that
+// continuing the simulation allocates nothing. This pins the pooling
+// contract of the hot path: once the event heap, the ring buffers, and the
+// packet pool have grown to steady-state size, the per-packet path (emit,
+// enqueue, mark, drop, transmit, propagate, deliver, recycle) must be
+// allocation-free.
+func TestSteadyStatePacketPathZeroAlloc(t *testing.T) {
+	s := sim.New()
+	pool := &Pool{}
+	q := NewPriorityPushout(64)
+	link := NewLink(s, "hot", 10e6, 5*sim.Millisecond, q)
+	link.Marker = NewVirtualQueue(9e6, 64*1000)
+	link.OnDrop = func(_ sim.Time, p *Packet) { pool.Put(p) }
+	route := []Receiver{link, &poolSink{pool: pool}}
+
+	// Offered load ~1.2x the link rate so the queue stays full and the
+	// drop/pushout/mark branches all run.
+	emitEvery := func(kind Kind, band, size int, period sim.Time) {
+		var ev *sim.Event
+		ev = sim.NewEvent(func(now sim.Time) {
+			p := pool.Get()
+			p.Kind = kind
+			p.Band = band
+			p.Size = size
+			p.Route = route
+			Send(now, p)
+			s.Schedule(ev, now+period)
+		})
+		s.Schedule(ev, 0)
+	}
+	emitEvery(Data, BandData, 1000, 800*sim.Microsecond)
+	emitEvery(Probe, BandProbe, 500, 1700*sim.Microsecond)
+
+	until := 2 * sim.Second
+	s.Run(until) // warmup: grow rings, heap, and pool to steady state
+
+	allocs := testing.AllocsPerRun(5, func() {
+		until += 200 * sim.Millisecond
+		s.Run(until)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state per-packet path allocated %v times per 200ms slice, want 0", allocs)
+	}
+}

@@ -83,14 +83,15 @@ type Link struct {
 
 	Stats LinkStats
 
-	s      *sim.Sim
-	busy   bool
-	txPkt  *Packet
-	txDone *sim.Event
-	pipe   []inflight // ring buffer
-	pipeHd int
-	pipeN  int
-	pipeEv *sim.Event
+	s        *sim.Sim
+	busy     bool
+	nsPerBit float64 // float64(sim.Second) / RateBps, precomputed
+	txPkt    *Packet
+	txDone   *sim.Event
+	pipe     []inflight // power-of-two ring buffer, mask-indexed
+	pipeHd   int
+	pipeN    int
+	pipeEv   *sim.Event
 }
 
 // NewLink builds a link. The queue discipline q must be non-nil.
@@ -101,7 +102,8 @@ func NewLink(s *sim.Sim, name string, rateBps float64, delay sim.Time, q Discipl
 	if q == nil {
 		panic("netsim: NewLink requires a queue discipline")
 	}
-	l := &Link{Name: name, RateBps: rateBps, Delay: delay, Q: q, s: s}
+	l := &Link{Name: name, RateBps: rateBps, Delay: delay, Q: q, s: s,
+		nsPerBit: float64(sim.Second) / rateBps}
 	l.txDone = sim.NewEvent(l.onTxDone)
 	l.pipeEv = sim.NewEvent(l.onDeliver)
 	return l
@@ -110,49 +112,86 @@ func NewLink(s *sim.Sim, name string, rateBps float64, delay sim.Time, q Discipl
 func (l *Link) String() string { return fmt.Sprintf("link(%s)", l.Name) }
 
 // Receive implements Receiver: the packet arrives at this link's queue.
+// The telemetry dispatch happens once here: the untraced path (Tap == nil,
+// the default) runs with no per-branch tap checks at all.
 func (l *Link) Receive(now sim.Time, p *Packet) {
 	l.Stats.Arrived[p.Kind]++
 	if l.OnArrive != nil {
 		l.OnArrive(now, p)
 	}
+	if l.Tap == nil {
+		l.receiveFast(now, p)
+	} else {
+		l.receiveTraced(now, p)
+	}
+}
+
+// receiveFast is the tap-free arrival path.
+func (l *Link) receiveFast(now sim.Time, p *Packet) {
 	if l.Marker != nil && l.Marker.OnArrival(now, p) {
 		if l.VQDropProbes && p.Kind == Probe {
-			l.drop(now, p)
+			l.dropFast(now, p)
 			return
 		}
 		p.Marked = true
 		l.Stats.Marked[p.Kind]++
-		if l.Tap != nil {
-			l.Tap.Mark(now, p.FlowID, uint8(p.Kind), p.Size, p.Seq, l.Q.Len())
-		}
 	}
 	if dropped := l.Q.Enqueue(now, p); dropped != nil {
-		l.drop(now, dropped)
+		l.dropFast(now, dropped)
 		if dropped == p {
 			return
 		}
-	}
-	if l.Tap != nil {
-		l.Tap.Enqueue(now, p.FlowID, uint8(p.Kind), p.Size, p.Seq, l.Q.Len())
 	}
 	if !l.busy {
 		l.startTx(now)
 	}
 }
 
-func (l *Link) drop(now sim.Time, p *Packet) {
-	l.Stats.Dropped[p.Kind]++
-	if l.Tap != nil {
-		l.Tap.Drop(now, p.FlowID, uint8(p.Kind), p.Size, p.Seq, l.Q.Len())
+// receiveTraced mirrors receiveFast with the trace events of the
+// observability tap (known non-nil here).
+func (l *Link) receiveTraced(now sim.Time, p *Packet) {
+	if l.Marker != nil && l.Marker.OnArrival(now, p) {
+		if l.VQDropProbes && p.Kind == Probe {
+			l.dropTraced(now, p)
+			return
+		}
+		p.Marked = true
+		l.Stats.Marked[p.Kind]++
+		l.Tap.Mark(now, p.FlowID, uint8(p.Kind), p.Size, p.Seq, l.Q.Len())
 	}
+	if dropped := l.Q.Enqueue(now, p); dropped != nil {
+		l.dropTraced(now, dropped)
+		if dropped == p {
+			return
+		}
+	}
+	l.Tap.Enqueue(now, p.FlowID, uint8(p.Kind), p.Size, p.Seq, l.Q.Len())
+	if !l.busy {
+		l.startTx(now)
+	}
+}
+
+// dropFast books a dropped packet on the tap-free path.
+func (l *Link) dropFast(now sim.Time, p *Packet) {
+	l.Stats.Dropped[p.Kind]++
 	if l.OnDrop != nil {
 		l.OnDrop(now, p)
 	}
 }
 
-// txTime returns the serialization time of p on this link.
+// dropTraced books a dropped packet and emits its trace event.
+func (l *Link) dropTraced(now sim.Time, p *Packet) {
+	l.Stats.Dropped[p.Kind]++
+	l.Tap.Drop(now, p.FlowID, uint8(p.Kind), p.Size, p.Seq, l.Q.Len())
+	if l.OnDrop != nil {
+		l.OnDrop(now, p)
+	}
+}
+
+// txTime returns the serialization time of p on this link, using the
+// per-link precomputed ns-per-bit scale (no division on the packet path).
 func (l *Link) txTime(p *Packet) sim.Time {
-	return sim.Time(float64(p.Bits()) / l.RateBps * float64(sim.Second))
+	return sim.Time(float64(p.Bits()) * l.nsPerBit)
 }
 
 func (l *Link) startTx(now sim.Time) {
@@ -187,16 +226,17 @@ func (l *Link) pipePush(f inflight) {
 	if l.pipeN == len(l.pipe) {
 		nc := len(l.pipe) * 2
 		if nc == 0 {
-			nc = 16
+			nc = ringCap()
 		}
 		np := make([]inflight, nc)
-		for i := 0; i < l.pipeN; i++ {
-			np[i] = l.pipe[(l.pipeHd+i)%len(l.pipe)]
-		}
+		// The ring is full, so the resident entries are pipe[pipeHd:]
+		// followed by pipe[:pipeHd].
+		k := copy(np, l.pipe[l.pipeHd:])
+		copy(np[k:], l.pipe[:l.pipeHd])
 		l.pipe = np
 		l.pipeHd = 0
 	}
-	l.pipe[(l.pipeHd+l.pipeN)%len(l.pipe)] = f
+	l.pipe[(l.pipeHd+l.pipeN)&(len(l.pipe)-1)] = f
 	l.pipeN++
 }
 
@@ -204,7 +244,7 @@ func (l *Link) onDeliver(now sim.Time) {
 	for l.pipeN > 0 && l.pipe[l.pipeHd].at <= now {
 		p := l.pipe[l.pipeHd].p
 		l.pipe[l.pipeHd] = inflight{}
-		l.pipeHd = (l.pipeHd + 1) % len(l.pipe)
+		l.pipeHd = (l.pipeHd + 1) & (len(l.pipe) - 1)
 		l.pipeN--
 		p.Forward(now)
 	}

@@ -15,7 +15,26 @@ type Discipline interface {
 	Len() int
 }
 
-// fifo is a growable ring buffer of packets.
+// RingInitCap is the initial capacity, in packets, of the fifo and
+// link-pipe ring buffers; it is rounded up to a power of two so the rings
+// can index with a mask. It exists for the byte-identity tests, which
+// shrink it to 1 to force constant growth and prove ring geometry cannot
+// affect simulation output. Do not change it while simulations are
+// running.
+var RingInitCap = 16
+
+// ringCap returns RingInitCap rounded up to a power of two (mask indexing
+// requires it), minimum 1.
+func ringCap() int {
+	n := 1
+	for n < RingInitCap {
+		n <<= 1
+	}
+	return n
+}
+
+// fifo is a growable ring buffer of packets. The capacity is always a
+// power of two, so positions wrap with a mask instead of a modulo.
 type fifo struct {
 	buf  []*Packet
 	head int
@@ -26,7 +45,7 @@ func (f *fifo) push(p *Packet) {
 	if f.n == len(f.buf) {
 		f.grow()
 	}
-	f.buf[(f.head+f.n)%len(f.buf)] = p
+	f.buf[(f.head+f.n)&(len(f.buf)-1)] = p
 	f.n++
 }
 
@@ -36,7 +55,7 @@ func (f *fifo) pop() *Packet {
 	}
 	p := f.buf[f.head]
 	f.buf[f.head] = nil
-	f.head = (f.head + 1) % len(f.buf)
+	f.head = (f.head + 1) & (len(f.buf) - 1)
 	f.n--
 	return p
 }
@@ -46,7 +65,7 @@ func (f *fifo) popTail() *Packet {
 	if f.n == 0 {
 		return nil
 	}
-	i := (f.head + f.n - 1) % len(f.buf)
+	i := (f.head + f.n - 1) & (len(f.buf) - 1)
 	p := f.buf[i]
 	f.buf[i] = nil
 	f.n--
@@ -56,12 +75,13 @@ func (f *fifo) popTail() *Packet {
 func (f *fifo) grow() {
 	nc := len(f.buf) * 2
 	if nc == 0 {
-		nc = 16
+		nc = ringCap()
 	}
 	nb := make([]*Packet, nc)
-	for i := 0; i < f.n; i++ {
-		nb[i] = f.buf[(f.head+i)%len(f.buf)]
-	}
+	// The ring is full (grow is only called then), so the resident packets
+	// are buf[head:] followed by buf[:head].
+	k := copy(nb, f.buf[f.head:])
+	copy(nb[k:], f.buf[:f.head])
 	f.buf = nb
 	f.head = 0
 }

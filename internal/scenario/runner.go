@@ -58,7 +58,7 @@ type Runner struct {
 
 	// Observability (nil/inert by default; see Config.Obs and Observe).
 	obs         *obs.Collector
-	activeFlows int     // flows currently in their data phase
+	activeFlows int // flows currently in their data phase
 	lastSample  sim.Time
 	lastBits    []int64 // per-link data bits at the previous sample
 

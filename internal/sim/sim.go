@@ -5,6 +5,20 @@
 // compares floating-point values. Components own reusable Event values and
 // reschedule them, so steady-state simulation performs no per-event heap
 // allocation.
+//
+// The pending-event queue is a 4-ary heap of by-value entries with lazy
+// deletion: each slot carries the (when, seq) ordering key next to the
+// event pointer, so sift operations move 24-byte entries within one
+// contiguous array and never touch an Event (no pointer-chasing cache
+// misses on the hot path), and the four children of a node share one or
+// two cache lines. Cancel and Reschedule do no heap surgery at all: they
+// bump the event's live sequence number, turning the old slot into a
+// tombstone that is discarded when it surfaces at the root. A tombstone
+// scheduled for time T is gone by the time the clock passes T, so stale
+// entries never accumulate beyond the event horizon. The (when, seq) key
+// is a total order, so any correct priority queue dispatches the exact
+// same sequence; heap geometry can never affect simulation results
+// (pinned by the byte-identity tests).
 package sim
 
 import "fmt"
@@ -33,36 +47,71 @@ func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Sec()) }
 // Events are intended to be embedded in (or owned by) simulation components
 // and reused for their lifetime.
 type Event struct {
-	fn   func(now Time)
-	when Time
-	seq  uint64 // FIFO tie-break among equal timestamps
-	pos  int    // heap index; -1 when not scheduled
+	fn      func(now Time)
+	when    Time
+	seq     uint64 // seq of the live entry; FIFO tie-break at equal times
+	pending bool
 }
 
 // NewEvent returns an event that invokes fn when it fires.
 func NewEvent(fn func(now Time)) *Event {
-	return &Event{fn: fn, pos: -1}
+	return &Event{fn: fn}
 }
 
 // Pending reports whether the event is currently scheduled.
-func (e *Event) Pending() bool { return e.pos >= 0 }
+func (e *Event) Pending() bool { return e.pending }
 
 // When returns the time the event is scheduled for. Only meaningful while
 // Pending.
 func (e *Event) When() Time { return e.when }
 
+// entry is one heap slot. The (when, seq) key is duplicated out of the
+// Event so ordering comparisons touch only the heap's contiguous backing
+// array. An entry is live while its seq matches e.seq and e is pending;
+// otherwise it is a tombstone left behind by Cancel or Reschedule.
+type entry struct {
+	when Time
+	seq  uint64
+	e    *Event
+}
+
+// before is the heap order: by time, then by scheduling order, which makes
+// the key a total order (seq is unique) and dispatch deterministic.
+func (a entry) before(b entry) bool {
+	return a.when < b.when || (a.when == b.when && a.seq < b.seq)
+}
+
+// live reports whether the slot still represents a scheduled firing.
+func (ent entry) live() bool {
+	return ent.e.pending && ent.e.seq == ent.seq
+}
+
+// heapArity is the fan-out of the event heap. Four keeps a node's children
+// within one or two cache lines of the entry array while halving the sift
+// depth of a binary heap.
+const heapArity = 4
+
+// HeapInitCap is the event heap's initial capacity. It exists for the
+// byte-identity tests, which shrink it to force repeated growth and prove
+// heap geometry cannot affect simulation output. Do not change it while
+// simulations are running.
+var HeapInitCap = 1024
+
 // Sim is a discrete-event simulator. The zero value is not usable; call New.
 type Sim struct {
 	now    Time
 	seq    uint64
-	heap   []*Event
+	heap   []entry
+	nLive  int    // scheduled (non-tombstone) entries
+	nDead  int    // tombstones still buried in the heap
 	nRun   uint64 // events executed
+	hole   bool   // heap[0] is a consumed entry awaiting removal or reuse
 	halted bool
 }
 
 // New returns an empty simulator at time zero.
 func New() *Sim {
-	return &Sim{heap: make([]*Event, 0, 1024)}
+	return &Sim{heap: make([]entry, 0, HeapInitCap)}
 }
 
 // Now returns the current simulation time.
@@ -74,7 +123,7 @@ func (s *Sim) Executed() uint64 { return s.nRun }
 // Schedule arranges for e to fire at absolute time at. It panics if e is
 // already pending (use Reschedule) or if at precedes the current time.
 func (s *Sim) Schedule(e *Event, at Time) {
-	if e.pos >= 0 {
+	if e.pending {
 		panic("sim: Schedule of pending event")
 	}
 	if at < s.now {
@@ -82,10 +131,26 @@ func (s *Sim) Schedule(e *Event, at Time) {
 	}
 	e.when = at
 	e.seq = s.seq
+	e.pending = true
 	s.seq++
-	e.pos = len(s.heap)
-	s.heap = append(s.heap, e)
-	s.up(e.pos)
+	s.nLive++
+	if s.hole {
+		// The dispatch loop left the just-consumed root in place. Nearly
+		// every event in this workload reschedules a near-future successor
+		// (source ticks, txDone, pipe delivery) from inside its own
+		// callback, so instead of paying a full leaf-sink pop plus a push,
+		// reuse the root slot: one replace-root siftDown that terminates
+		// almost immediately for near-minimum times, and never touches the
+		// heap's tail. Heap arrangement cannot affect dispatch order — the
+		// (when, seq) key is a total order — so this is behaviour-neutral.
+		s.hole = false
+		s.heap[0] = entry{when: at, seq: e.seq, e: e}
+		s.siftDown(0)
+		return
+	}
+	i := len(s.heap)
+	s.heap = append(s.heap, entry{when: at, seq: e.seq, e: e})
+	s.siftUp(i)
 }
 
 // ScheduleIn schedules e to fire after delay d.
@@ -94,17 +159,18 @@ func (s *Sim) ScheduleIn(e *Event, d Time) { s.Schedule(e, s.now+d) }
 // Reschedule moves a pending event to a new time, or schedules it if it is
 // not pending.
 func (s *Sim) Reschedule(e *Event, at Time) {
-	if e.pos >= 0 {
-		s.remove(e)
-	}
+	s.Cancel(e)
 	s.Schedule(e, at)
 }
 
 // Cancel removes a pending event from the queue. Cancelling a non-pending
-// event is a no-op.
+// event is a no-op. Cancellation is O(1): the heap slot becomes a
+// tombstone discarded when it reaches the root.
 func (s *Sim) Cancel(e *Event) {
-	if e.pos >= 0 {
-		s.remove(e)
+	if e.pending {
+		e.pending = false
+		s.nLive--
+		s.nDead++
 	}
 }
 
@@ -123,22 +189,67 @@ func (s *Sim) CallIn(d Time, fn func(now Time)) *Event { return s.Call(s.now+d, 
 // Halt stops Run before the next event is dispatched.
 func (s *Sim) Halt() { s.halted = true }
 
+// Peek returns the timestamp of the earliest pending event, without
+// dispatching it. ok is false when no event is pending. Callers batching
+// work per timestamp (or deciding whether a Run call would do anything)
+// use it to avoid a dispatch round trip.
+func (s *Sim) Peek() (when Time, ok bool) {
+	if s.hole {
+		s.hole = false
+		s.popRoot()
+	}
+	s.scrub()
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].when, true
+}
+
 // Run executes events in timestamp order until the queue is empty or the
 // next event is later than until. The clock is left at the time of the last
 // executed event (or at until if no event at/before until remained, so that
 // subsequent Run calls may continue).
+//
+// Events sharing a timestamp are bulk-drained: the bound check and clock
+// update happen once per distinct timestamp, not once per event, which
+// matters for the multi-hop scenarios where a burst's arrivals land on the
+// same nanosecond.
 func (s *Sim) Run(until Time) {
 	s.halted = false
-	for len(s.heap) > 0 && !s.halted {
-		e := s.heap[0]
-		if e.when > until {
+	for !s.halted {
+		s.scrub()
+		if len(s.heap) == 0 {
+			break
+		}
+		when := s.heap[0].when
+		if when > until {
 			s.now = until
 			return
 		}
-		s.remove(e)
-		s.now = e.when
-		s.nRun++
-		e.fn(e.when)
+		s.now = when
+		for {
+			e := s.heap[0].e // live: scrub ran
+			e.pending = false
+			s.nLive--
+			s.nRun++
+			// Leave the consumed root in place as a hole: if the callback
+			// schedules (the overwhelmingly common case), Schedule reuses
+			// the slot with one replace-root sift instead of a full
+			// leaf-sink pop plus a push.
+			s.hole = true
+			e.fn(when)
+			if s.hole {
+				s.hole = false
+				s.popRoot()
+			}
+			if s.halted {
+				break
+			}
+			s.scrub()
+			if len(s.heap) == 0 || s.heap[0].when != when {
+				break
+			}
+		}
 	}
 	if !s.halted && s.now < until {
 		s.now = until
@@ -148,73 +259,123 @@ func (s *Sim) Run(until Time) {
 // RunAll executes events until the queue is empty.
 func (s *Sim) RunAll() {
 	s.halted = false
-	for len(s.heap) > 0 && !s.halted {
-		e := s.heap[0]
-		s.remove(e)
-		s.now = e.when
-		s.nRun++
-		e.fn(e.when)
+	for !s.halted {
+		s.scrub()
+		if len(s.heap) == 0 {
+			return
+		}
+		when := s.heap[0].when
+		s.now = when
+		for {
+			e := s.heap[0].e
+			e.pending = false
+			s.nLive--
+			s.nRun++
+			s.hole = true
+			e.fn(when)
+			if s.hole {
+				s.hole = false
+				s.popRoot()
+			}
+			if s.halted {
+				return
+			}
+			s.scrub()
+			if len(s.heap) == 0 || s.heap[0].when != when {
+				break
+			}
+		}
 	}
 }
 
 // Len returns the number of pending events.
-func (s *Sim) Len() int { return len(s.heap) }
+func (s *Sim) Len() int { return s.nLive }
 
-// less orders by time, then by scheduling order for determinism.
-func (s *Sim) less(i, j int) bool {
-	a, b := s.heap[i], s.heap[j]
-	if a.when != b.when {
-		return a.when < b.when
+// scrub discards tombstones from the root so that heap[0], if the heap is
+// non-empty, is the earliest live event. This is the only place lazy
+// deletion pays its debt, and each tombstone is paid for exactly once.
+// While no tombstones are buried (nDead == 0, the common case — Cancel is
+// control-plane, not per-packet), the dispatch loop pays a single integer
+// compare here and never dereferences an Event to test liveness.
+func (s *Sim) scrub() {
+	if s.nDead == 0 {
+		return
 	}
-	return a.seq < b.seq
+	s.scrubSlow()
 }
 
-func (s *Sim) swap(i, j int) {
-	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
-	s.heap[i].pos = i
-	s.heap[j].pos = j
+func (s *Sim) scrubSlow() {
+	for s.nDead > 0 && len(s.heap) > 0 && !s.heap[0].live() {
+		s.popRoot()
+		s.nDead--
+	}
 }
 
-func (s *Sim) up(i int) {
+// popRoot removes the root entry: move the last entry into the hole and
+// sift it down. No Event field is touched — the caller accounts for
+// liveness.
+func (s *Sim) popRoot() {
+	n := len(s.heap) - 1
+	last := s.heap[n]
+	s.heap[n] = entry{}
+	s.heap = s.heap[:n]
+	if n > 0 {
+		s.heap[0] = last
+		s.siftDown(0)
+	}
+}
+
+// siftUp moves the entry at index i toward the root. The moving entry is
+// held aside and written once at its final slot (hole sift): one 24-byte
+// entry copy per level, no Event access.
+func (s *Sim) siftUp(i int) {
+	ent := s.heap[i]
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.less(i, parent) {
+		parent := (i - 1) / heapArity
+		if !ent.before(s.heap[parent]) {
 			break
 		}
-		s.swap(i, parent)
+		s.heap[i] = s.heap[parent]
 		i = parent
 	}
+	s.heap[i] = ent
 }
 
-func (s *Sim) down(i int) {
-	n := len(s.heap)
+// siftDown moves the entry at index i toward the leaves. The four children
+// of a node are contiguous entries, so the min-child scan stays within one
+// or two cache lines; the full-node case is unrolled.
+func (s *Sim) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	ent := h[i]
 	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && s.less(l, small) {
-			small = l
+		c := heapArity*i + 1
+		if c >= n {
+			break
 		}
-		if r < n && s.less(r, small) {
-			small = r
+		small := c
+		if c+heapArity <= n { // full node: unrolled four-child scan
+			if h[c+1].before(h[small]) {
+				small = c + 1
+			}
+			if h[c+2].before(h[small]) {
+				small = c + 2
+			}
+			if h[c+3].before(h[small]) {
+				small = c + 3
+			}
+		} else {
+			for j := c + 1; j < n; j++ {
+				if h[j].before(h[small]) {
+					small = j
+				}
+			}
 		}
-		if small == i {
-			return
+		if !h[small].before(ent) {
+			break
 		}
-		s.swap(i, small)
+		h[i] = h[small]
 		i = small
 	}
-}
-
-func (s *Sim) remove(e *Event) {
-	i := e.pos
-	n := len(s.heap) - 1
-	if i != n {
-		s.swap(i, n)
-	}
-	s.heap = s.heap[:n]
-	e.pos = -1
-	if i < n {
-		s.down(i)
-		s.up(i)
-	}
+	h[i] = ent
 }

@@ -26,6 +26,7 @@ type CBR struct {
 	s       *sim.Sim
 	rateBps float64
 	pktSize int
+	iv      sim.Time // per-packet interval, precomputed from rate and size
 	emit    EmitFunc
 	ev      *sim.Event
 	active  bool
@@ -36,17 +37,19 @@ func NewCBR(s *sim.Sim, rateBps float64, pktSize int, emit EmitFunc) *CBR {
 	if rateBps <= 0 || pktSize <= 0 {
 		panic("trafgen: NewCBR requires positive rate and packet size")
 	}
-	c := &CBR{s: s, rateBps: rateBps, pktSize: pktSize, emit: emit}
+	c := &CBR{s: s, pktSize: pktSize, emit: emit}
+	c.SetRate(rateBps)
 	c.ev = sim.NewEvent(c.tick)
 	return c
 }
 
 // SetRate changes the emission rate; it takes effect from the next packet.
-func (c *CBR) SetRate(rateBps float64) { c.rateBps = rateBps }
-
-func (c *CBR) interval() sim.Time {
-	return sim.Time(float64(c.pktSize*8) / c.rateBps * float64(sim.Second))
+func (c *CBR) SetRate(rateBps float64) {
+	c.rateBps = rateBps
+	c.iv = sim.Time(float64(c.pktSize*8) / rateBps * float64(sim.Second))
 }
+
+func (c *CBR) interval() sim.Time { return c.iv }
 
 // Start implements Source. The first packet is emitted immediately.
 func (c *CBR) Start(now sim.Time) {
@@ -83,6 +86,7 @@ type OnOff struct {
 	s        *sim.Sim
 	burstBps float64
 	pktSize  int
+	iv       sim.Time       // per-packet interval at the burst rate, precomputed
 	onDur    func() float64 // seconds
 	offDur   func() float64
 	emit     EmitFunc
@@ -100,6 +104,7 @@ func NewOnOff(s *sim.Sim, rng *stats.RNG, burstBps float64, pktSize int, onDur, 
 		panic("trafgen: NewOnOff requires positive rate and packet size")
 	}
 	o := &OnOff{s: s, rng: rng, burstBps: burstBps, pktSize: pktSize, onDur: onDur, offDur: offDur, emit: emit}
+	o.iv = sim.Time(float64(pktSize*8) / burstBps * float64(sim.Second))
 	o.ev = sim.NewEvent(o.tick)
 	return o
 }
@@ -123,9 +128,7 @@ func NewParetoOnOff(s *sim.Sim, rng *stats.RNG, burstBps float64, pktSize int, o
 		emit)
 }
 
-func (o *OnOff) interval() sim.Time {
-	return sim.Time(float64(o.pktSize*8) / o.burstBps * float64(sim.Second))
-}
+func (o *OnOff) interval() sim.Time { return o.iv }
 
 // Start implements Source. The source begins in the on or off state with
 // probability proportional to the state mean durations, for approximate
