@@ -97,12 +97,21 @@ type GuardedDiscipline struct {
 	cap   int
 	clock *Clock
 
+	// pushout is set when Inner is a PriorityPushout, enabling the
+	// band-sum check: its shared `total` counter must equal the sum of
+	// the per-band queue lengths after every operation (the pushout
+	// branch swaps a victim for the arrival and must leave `total`
+	// untouched — an easy compensation to break in a refactor).
+	pushout *netsim.PriorityPushout
+
 	enq, deq, drop int64
 }
 
 // Guard wraps d, whose buffer capacity is capPackets.
 func (c *Checker) Guard(name string, d netsim.Discipline, capPackets int) *GuardedDiscipline {
-	return &GuardedDiscipline{Inner: d, c: c, name: name, cap: capPackets, clock: c.Clock(name + " arrivals")}
+	g := &GuardedDiscipline{Inner: d, c: c, name: name, cap: capPackets, clock: c.Clock(name + " arrivals")}
+	g.pushout, _ = d.(*netsim.PriorityPushout)
+	return g
 }
 
 // Enqueue implements netsim.Discipline.
@@ -170,6 +179,15 @@ func (g *GuardedDiscipline) checkConservation() {
 	if backlog := g.enq - g.deq - g.drop; backlog != int64(g.Inner.Len()) {
 		g.c.Violationf("%s: conservation: enq=%d deq=%d drop=%d backlog=%d but Len=%d",
 			g.name, g.enq, g.deq, g.drop, backlog, g.Inner.Len())
+	}
+	if g.pushout != nil {
+		sum := 0
+		for b := 0; b < netsim.NumBands; b++ {
+			sum += g.pushout.BandLen(b)
+		}
+		if sum != g.pushout.Len() {
+			g.c.Violationf("%s: pushout total %d != band sum %d", g.name, g.pushout.Len(), sum)
+		}
 	}
 }
 

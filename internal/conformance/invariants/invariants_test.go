@@ -190,3 +190,22 @@ func TestCheckLinkQuiescent(t *testing.T) {
 type recvFunc func(now sim.Time, p *netsim.Packet)
 
 func (f recvFunc) Receive(now sim.Time, p *netsim.Packet) { f(now, p) }
+
+func TestGuardChecksPushoutBandSum(t *testing.T) {
+	var c invariants.Checker
+	q := netsim.NewPriorityPushout(4)
+	g := c.Guard("pushout", q, 4)
+	// Fill with probes, push them all out with data, overfill, drain —
+	// the guard verifies total == sum(band lengths) after every step.
+	for i := 0; i < 4; i++ {
+		g.Enqueue(sim.Time(i), &netsim.Packet{Size: 125, Band: netsim.BandProbe, Kind: netsim.Probe})
+	}
+	for i := 0; i < 5; i++ {
+		g.Enqueue(sim.Time(4+i), &netsim.Packet{Size: 125, Band: netsim.BandData})
+	}
+	for g.Dequeue() != nil {
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

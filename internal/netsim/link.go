@@ -10,6 +10,12 @@ import (
 // LinkStats aggregates per-link packet counters since the last Reset.
 // Data and probe traffic are tracked separately so that the utilization
 // figures exclude probe packets, as in the paper.
+//
+// Marked counts packets that the shadow queue marked AND that the real
+// discipline then accepted: a packet marked but dropped on the same
+// arrival counts only in Dropped (and emits only a drop trace event), so
+// Marked+Dropped never double-counts an arrival and marking fractions
+// condition on packets that actually transit.
 type LinkStats struct {
 	Arrived   [2]int64 // indexed by Kind
 	Dropped   [2]int64
@@ -128,19 +134,22 @@ func (l *Link) Receive(now sim.Time, p *Packet) {
 
 // receiveFast is the tap-free arrival path.
 func (l *Link) receiveFast(now sim.Time, p *Packet) {
-	if l.Marker != nil && l.Marker.OnArrival(now, p) {
-		if l.VQDropProbes && p.Kind == Probe {
-			l.dropFast(now, p)
-			return
-		}
-		p.Marked = true
-		l.Stats.Marked[p.Kind]++
+	marked := l.Marker != nil && l.Marker.OnArrival(now, p)
+	if marked && l.VQDropProbes && p.Kind == Probe {
+		l.dropFast(now, p)
+		return
 	}
 	if dropped := l.Q.Enqueue(now, p); dropped != nil {
 		l.dropFast(now, dropped)
 		if dropped == p {
 			return
 		}
+	}
+	// Mark accounting happens only after the packet survives the real
+	// queue: see the LinkStats doc comment.
+	if marked {
+		p.Marked = true
+		l.Stats.Marked[p.Kind]++
 	}
 	if !l.busy {
 		l.startTx(now)
@@ -150,20 +159,21 @@ func (l *Link) receiveFast(now sim.Time, p *Packet) {
 // receiveTraced mirrors receiveFast with the trace events of the
 // observability tap (known non-nil here).
 func (l *Link) receiveTraced(now sim.Time, p *Packet) {
-	if l.Marker != nil && l.Marker.OnArrival(now, p) {
-		if l.VQDropProbes && p.Kind == Probe {
-			l.dropTraced(now, p)
-			return
-		}
-		p.Marked = true
-		l.Stats.Marked[p.Kind]++
-		l.Tap.Mark(now, p.FlowID, uint8(p.Kind), p.Size, p.Seq, l.Q.Len())
+	marked := l.Marker != nil && l.Marker.OnArrival(now, p)
+	if marked && l.VQDropProbes && p.Kind == Probe {
+		l.dropTraced(now, p)
+		return
 	}
 	if dropped := l.Q.Enqueue(now, p); dropped != nil {
 		l.dropTraced(now, dropped)
 		if dropped == p {
 			return
 		}
+	}
+	if marked {
+		p.Marked = true
+		l.Stats.Marked[p.Kind]++
+		l.Tap.Mark(now, p.FlowID, uint8(p.Kind), p.Size, p.Seq, l.Q.Len())
 	}
 	l.Tap.Enqueue(now, p.FlowID, uint8(p.Kind), p.Size, p.Seq, l.Q.Len())
 	if !l.busy {

@@ -1,8 +1,11 @@
 package netsim
 
 import (
+	"encoding/json"
+	"strings"
 	"testing"
 
+	"eac/internal/obs"
 	"eac/internal/sim"
 )
 
@@ -166,5 +169,78 @@ func TestPacketForwardEndOfRoute(t *testing.T) {
 	p.Forward(0) // already consumed: must not re-deliver
 	if sink.n != 1 {
 		t.Fatalf("delivered %d times", sink.n)
+	}
+}
+
+// TestMarkedCountsOnlyEnqueuedPackets pins the Marked-counter semantics
+// documented on LinkStats: a packet the shadow queue marks but the real
+// discipline then drops counts only in Dropped, so Marked+Dropped never
+// double-counts an arrival. (It used to count in both, and the traced
+// path emitted a Mark event for a packet that never transited.)
+func TestMarkedCountsOnlyEnqueuedPackets(t *testing.T) {
+	s := sim.New()
+	// 100-byte shadow buffer: every 200-byte arrival overflows it and,
+	// with nothing in a lower band to evict, is marked. Real buffer of
+	// one packet: the third arrival at t=0 (one transmitting, one
+	// queued) is tail-dropped.
+	l := NewLink(s, "m", 1e6, 0, NewDropTail(1))
+	l.Marker = NewVirtualQueue(8000, 100)
+	for i := int64(0); i < 3; i++ {
+		p := mkPkt(BandData, Data, i)
+		p.Size = 200
+		p.Route = []Receiver{l}
+		Send(0, p)
+	}
+	if got := l.Stats.Dropped[Data]; got != 1 {
+		t.Fatalf("Dropped[Data] = %d, want 1", got)
+	}
+	if got := l.Stats.Marked[Data]; got != 2 {
+		t.Fatalf("Marked[Data] = %d, want 2 (enqueued packets only)", got)
+	}
+	if got := l.Stats.Arrived[Data]; got != 3 {
+		t.Fatalf("Arrived[Data] = %d, want 3", got)
+	}
+}
+
+// TestTracedMarkOnlyForTransitingPackets is the traced-path mirror of
+// TestMarkedCountsOnlyEnqueuedPackets: the observability trace must show
+// mark events only for packets that entered the queue — a marked-then-
+// dropped arrival produces a drop event and no mark event.
+func TestTracedMarkOnlyForTransitingPackets(t *testing.T) {
+	s := sim.New()
+	col := obs.New(obs.Config{Enabled: true, TraceCapacity: 64}, 1)
+	l := NewLink(s, "m", 1e6, 0, NewDropTail(1))
+	l.Marker = NewVirtualQueue(8000, 100)
+	l.Tap = col.RegisterLink("m")
+	for i := int64(0); i < 3; i++ {
+		p := mkPkt(BandData, Data, i)
+		p.Size = 200
+		p.Route = []Receiver{l}
+		Send(0, p)
+	}
+	var b strings.Builder
+	if err := col.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	marks, drops := 0, 0
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		var ev struct {
+			Ev string `json:"ev"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatal(err)
+		}
+		switch ev.Ev {
+		case "mark":
+			marks++
+		case "drop":
+			drops++
+		}
+	}
+	if marks != 2 || drops != 1 {
+		t.Fatalf("trace: %d mark, %d drop events, want 2 and 1:\n%s", marks, drops, b.String())
+	}
+	if l.Stats.Marked[Data] != 2 {
+		t.Fatalf("Marked[Data] = %d, want 2", l.Stats.Marked[Data])
 	}
 }

@@ -207,3 +207,43 @@ func TestPoolReuse(t *testing.T) {
 		t.Fatalf("Allocated = %d, want 1", pl.Allocated)
 	}
 }
+
+// TestPriorityPushoutTotalMatchesBandSum pins the shared-counter
+// compensation in Enqueue's pushout branch: displacing a victim swaps a
+// resident for the arrival, so `total` must stay untouched and always
+// equal the sum of the per-band lengths. (The same check runs inside the
+// conformance invariants guard on every operation.)
+func TestPriorityPushoutTotalMatchesBandSum(t *testing.T) {
+	q := NewPriorityPushout(4)
+	check := func(step string) {
+		sum := 0
+		for b := 0; b < NumBands; b++ {
+			sum += q.BandLen(b)
+		}
+		if sum != q.Len() {
+			t.Fatalf("%s: total %d != band sum %d", step, q.Len(), sum)
+		}
+	}
+	// Fill with probes, push out with data, overfill, interleave drains.
+	for i := int64(0); i < 4; i++ {
+		q.Enqueue(0, mkPkt(BandProbe, Probe, i))
+		check("probe fill")
+	}
+	for i := int64(0); i < 4; i++ {
+		if v := q.Enqueue(0, mkPkt(BandData, Data, 10+i)); v == nil {
+			t.Fatal("full buffer with probe residents must push out")
+		}
+		check("pushout")
+	}
+	if v := q.Enqueue(0, mkPkt(BandData, Data, 20)); v == nil {
+		t.Fatal("full all-data buffer must reject the arrival")
+	}
+	check("reject")
+	q.Dequeue()
+	check("dequeue")
+	q.Enqueue(0, mkPkt(BandDataLow, Data, 30))
+	check("low-band refill")
+	for q.Dequeue() != nil {
+		check("drain")
+	}
+}

@@ -63,18 +63,29 @@ func (v *VirtualQueue) OnArrival(now sim.Time, p *Packet) (mark bool) {
 		return false
 	}
 	// Does not fit: a higher-priority arrival evicts lower-band shadow
-	// backlog, mirroring PriorityPushout.
+	// backlog, mirroring PriorityPushout. Decide before mutating: a real
+	// pushout never partially commits, so a failed eviction must leave
+	// the shadow queue unchanged (it used to zero the lower bands on the
+	// way to discovering the packet still did not fit, silently draining
+	// shadow probe backlog on every oversized data arrival).
 	need := total + size - v.capBytes
+	avail := int64(0)
+	for b := NumBands - 1; b > p.Band; b-- {
+		avail += v.backlog[b]
+	}
+	if avail < need {
+		return true
+	}
 	for b := NumBands - 1; b > p.Band; b-- {
 		if v.backlog[b] >= need {
 			v.backlog[b] -= need
-			v.backlog[p.Band] += size
-			return false
+			break
 		}
 		need -= v.backlog[b]
 		v.backlog[b] = 0
 	}
-	return true
+	v.backlog[p.Band] += size
+	return false
 }
 
 // Backlog returns the shadow backlog of one band in bytes (for tests).

@@ -235,3 +235,52 @@ func TestVQDropProbesMode(t *testing.T) {
 		t.Fatalf("data marked (%d) though its own load fits the shadow queue", l.Stats.Marked[Data])
 	}
 }
+
+// TestVirtualQueueFailedEvictionLeavesShadowUnchanged pins the OnArrival
+// eviction contract: when a data packet does not fit even after evicting
+// every lower-band byte, the packet is marked and the shadow queue is
+// left exactly as it was — like PriorityPushout, which never partially
+// commits. (A bug here used to zero the shadow probe backlog on the way
+// to discovering the arrival still did not fit, so every oversized data
+// arrival silently drained the shadow queue.)
+func TestVirtualQueueFailedEvictionLeavesShadowUnchanged(t *testing.T) {
+	// 1000-byte shadow buffer holding only probe bytes, fewer than the
+	// arrival needs freed.
+	v := NewVirtualQueue(8000, 1000)
+	if v.OnArrival(0, &Packet{Size: 300, Band: BandProbe}) {
+		t.Fatal("probe seeding should fit")
+	}
+	// 1200 > 1000: even evicting all 300 probe bytes cannot make room.
+	if !v.OnArrival(0, &Packet{Size: 1200, Band: BandData}) {
+		t.Fatal("oversized data packet must be marked")
+	}
+	if got := v.Backlog(BandProbe); got != 300 {
+		t.Fatalf("failed eviction destroyed shadow probe backlog: got %d, want 300", got)
+	}
+	if got := v.Backlog(BandData); got != 0 {
+		t.Fatalf("failed eviction inserted data bytes: got %d, want 0", got)
+	}
+
+	// Mixed bands: data + probe resident, arrival needs more than the
+	// probe band alone can free.
+	v = NewVirtualQueue(8000, 1000)
+	v.OnArrival(0, &Packet{Size: 300, Band: BandProbe})
+	v.OnArrival(0, &Packet{Size: 600, Band: BandData})
+	if !v.OnArrival(0, &Packet{Size: 800, Band: BandData}) {
+		t.Fatal("arrival needing 700 freed with 300 evictable must be marked")
+	}
+	if p, d := v.Backlog(BandProbe), v.Backlog(BandData); p != 300 || d != 600 {
+		t.Fatalf("failed eviction mutated shadow queue: probe=%d data=%d, want 300/600", p, d)
+	}
+
+	// Control: when eviction CAN make room, it commits and inserts.
+	v = NewVirtualQueue(8000, 1000)
+	v.OnArrival(0, &Packet{Size: 300, Band: BandProbe})
+	v.OnArrival(0, &Packet{Size: 600, Band: BandData})
+	if v.OnArrival(0, &Packet{Size: 350, Band: BandData}) {
+		t.Fatal("arrival needing 250 freed with 300 evictable must not be marked")
+	}
+	if p, d := v.Backlog(BandProbe), v.Backlog(BandData); p != 50 || d != 950 {
+		t.Fatalf("successful eviction: probe=%d data=%d, want 50/950", p, d)
+	}
+}
