@@ -1,7 +1,7 @@
 # Tier-1 flow: `make ci` is what a checkin must keep green.
 GO ?= go
 
-.PHONY: build test race vet bench bench-hotpath cover ci conformance update-golden fuzz-smoke
+.PHONY: build test race vet bench bench-hotpath bench-grid cache-clear cover ci conformance update-golden fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,22 @@ bench:
 # was measured and when to re-pin it.
 bench-hotpath:
 	$(GO) test -run '^$$' -bench BenchmarkHotPath -benchmem -benchtime 5x -timeout 30m .
+
+# bench-grid measures the grid throughput layer: a full conformance-scale
+# sweep with the result cache cold vs warm (byte-identical CSVs enforced
+# inside the benchmark) and per-cell allocations with and without
+# workspace reuse. Rewrites results/BENCH_grid.json and appends headline
+# records to results/BENCH_index.json, as bench-hotpath and the obs
+# benchmark do.
+bench-grid:
+	$(GO) test -run '^$$' -bench BenchmarkGrid -benchmem -benchtime 5x -timeout 30m .
+
+# cache-clear wipes the content-addressed result cache (default location,
+# or EAC_CACHE_DIR). Do this after bumping scenario.ResultsVersion or
+# whenever cached metrics are suspect; entries are also individually
+# checksummed, so corruption never needs a manual clear.
+cache-clear:
+	$(GO) run ./cmd/experiments -cache-clear
 
 # conformance runs the validation harness on its own: golden-figure
 # regression, simulator<->fluid cross-validation, and the invariant

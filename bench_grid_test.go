@@ -1,0 +1,197 @@
+// Grid-level macro-benchmarks for the throughput layer of ISSUE 5: the
+// content-addressed result cache and per-worker simulator-state reuse.
+//
+// BenchmarkGrid measures the unit of work the paper actually demands — a
+// full experiment sweep (figure2 at conformance scale) — in three modes:
+//
+//   - cold: cache attached but empty, so every cell simulates and stores.
+//   - warm: every cell served from the store without simulating.
+//   - cells/fresh vs cells/reused: one simulator run per op, with a fresh
+//     Runner each time versus a persistent Workspace recycling the event
+//     heap, rings, packet pool, and probers — allocs/cell is the headline.
+//
+// A full (non-filtered, non -short) run rewrites results/BENCH_grid.json
+// and appends headline records to results/BENCH_index.json:
+//
+//	go test -run '^$' -bench BenchmarkGrid -benchtime 5x -timeout 30m
+//
+// The warm and cold CSVs are compared byte-for-byte inside the benchmark;
+// any divergence is a failure, not a number.
+package eac_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"eac"
+	"eac/internal/benchindex"
+	"eac/internal/experiments"
+)
+
+// gridCellConfig is one representative sweep cell (the basic congested
+// link under slow-start in-band probing) at conformance scale, used for
+// the per-cell allocation comparison.
+func gridCellConfig(seed uint64) eac.Config {
+	return eac.Config{
+		Method:          eac.EAC,
+		AC:              eac.ACConfig{Design: eac.DropInBand, Kind: eac.SlowStart, Eps: 0.01},
+		InterArrival:    0.35,
+		LifetimeSec:     30,
+		Duration:        60 * eac.Second,
+		Warmup:          15 * eac.Second,
+		PrepopulateUtil: 0.75,
+		Seed:            seed,
+	}
+}
+
+func BenchmarkGrid(b *testing.B) {
+	ex, err := experiments.Lookup("figure2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.Conformance()
+	opts.Workers = *benchWorkers
+
+	var coldNs, warmNs int64
+	var coldCSV, warmCSV string
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			store, err := eac.OpenResultCache(b.TempDir()) // empty every iteration
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts.Cache = store
+			b.StartTimer()
+			tbl, err := ex.Run(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s := store.Stats(); s.Hits != 0 || s.Puts == 0 {
+				b.Fatalf("cold pass not cold: %+v", s)
+			}
+			coldCSV = tbl.CSV()
+		}
+		coldNs = b.Elapsed().Nanoseconds() / int64(b.N)
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		store, err := eac.OpenResultCache(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.Cache = store
+		if _, err := ex.Run(opts); err != nil { // prime
+			b.Fatal(err)
+		}
+		primed := store.Stats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tbl, err := ex.Run(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			warmCSV = tbl.CSV()
+		}
+		if d := store.Stats().Sub(primed); d.Misses != 0 || d.Corrupt != 0 {
+			b.Fatalf("warm passes not fully cache-served: %+v", d)
+		}
+		warmNs = b.Elapsed().Nanoseconds() / int64(b.N)
+	})
+
+	if coldCSV != "" && warmCSV != "" && coldCSV != warmCSV {
+		b.Fatalf("warm-cache CSV differs from cold:\n--- cold ---\n%s--- warm ---\n%s", coldCSV, warmCSV)
+	}
+
+	// Per-cell allocation comparison: the same run sequence with a fresh
+	// Runner per cell versus a persistent per-worker Workspace. Allocation
+	// counts come from MemStats deltas around the timed loop (both loops
+	// are single-goroutine).
+	seeds := eac.DefaultSeeds(3)
+	cell := func(i int) eac.Config { return gridCellConfig(seeds[i%len(seeds)]) }
+	mallocs := func(b *testing.B, run func(i int)) float64 {
+		b.ReportAllocs()
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(i)
+		}
+		runtime.ReadMemStats(&after)
+		return float64(after.Mallocs-before.Mallocs) / float64(b.N)
+	}
+	var freshAllocs, reusedAllocs float64
+	b.Run("cells/fresh", func(b *testing.B) {
+		freshAllocs = mallocs(b, func(i int) {
+			if _, err := eac.Run(cell(i)); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	b.Run("cells/reused", func(b *testing.B) {
+		ws := eac.NewWorkspace()
+		if _, err := ws.Run(cell(0)); err != nil { // build slabs outside the measurement
+			b.Fatal(err)
+		}
+		reusedAllocs = mallocs(b, func(i int) {
+			if _, err := ws.Run(cell(i)); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+
+	if coldNs == 0 || warmNs == 0 || freshAllocs == 0 || reusedAllocs == 0 {
+		return // filtered sub-benchmark: nothing comparable to record
+	}
+	speedup := float64(coldNs) / float64(warmNs)
+	reduction := 1 - reusedAllocs/freshAllocs
+	date := time.Now().UTC().Format(time.RFC3339)
+	rec := map[string]any{
+		"benchmark":              "BenchmarkGrid (go test -run '^$' -bench BenchmarkGrid -benchtime 5x)",
+		"date":                   date,
+		"gomaxprocs":             runtime.GOMAXPROCS(0),
+		"grid":                   "figure2 at conformance scale (sparse sweep, 1 seed, 60 s runs)",
+		"cell":                   "basic congested link, EAC slow-start in-band drop, 60 s simulated, 3 rotating seeds",
+		"cold_ns_per_grid":       coldNs,
+		"warm_ns_per_grid":       warmNs,
+		"warm_speedup":           speedup,
+		"csv_byte_identical":     true,
+		"fresh_allocs_per_cell":  freshAllocs,
+		"reused_allocs_per_cell": reusedAllocs,
+		"alloc_reduction":        reduction,
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("results/BENCH_grid.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	if err := benchindex.Append("results/BENCH_index.json",
+		benchindex.Record{Name: "BenchmarkGrid/warm", Date: date, Metric: "ns_per_grid",
+			Value: float64(warmNs), Unit: "ns", Baseline: float64(coldNs)},
+		benchindex.Record{Name: "BenchmarkGrid/cells", Date: date, Metric: "allocs_per_cell",
+			Value: reusedAllocs, Unit: "allocs", Baseline: freshAllocs},
+	); err != nil {
+		b.Fatal(err)
+	}
+	if speedup < 5 {
+		b.Errorf("warm grid only %.1fx faster than cold, acceptance floor is 5x", speedup)
+	}
+	if reduction < 0.30 {
+		b.Errorf("workspace reuse cut allocs/cell by %.0f%%, acceptance floor is 30%%", reduction*100)
+	}
+	fmt.Printf("BenchmarkGrid: warm %.1fx faster than cold; reuse cuts allocs/cell %.0f%% (%.0f -> %.0f)\n",
+		speedup, reduction*100, freshAllocs, reusedAllocs)
+}

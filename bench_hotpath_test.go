@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"eac"
+	"eac/internal/benchindex"
 )
 
 // hotpathBaseline pins the pre-overhaul single-run cost in ns/op, measured
@@ -167,6 +168,17 @@ func BenchmarkHotPath(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("results/BENCH_hotpath.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	date := rec["date"].(string)
+	var idx []benchindex.Record
+	for _, name := range []string{"congested", "multihop"} {
+		idx = append(idx, benchindex.Record{
+			Name: "BenchmarkHotPath/" + name, Date: date, Metric: "ns_per_run",
+			Value: float64(nsPerOp[name]), Unit: "ns", Baseline: float64(hotpathBaseline[name]),
+		})
+	}
+	if err := benchindex.Append("results/BENCH_index.json", idx...); err != nil {
 		b.Fatal(err)
 	}
 }

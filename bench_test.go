@@ -36,6 +36,7 @@ var (
 	benchDur     = flag.Float64("eac.duration", 0, "override experiment duration, simulated seconds")
 	benchWorkers = flag.Int("eac.workers", 0, "cap parallel simulator runs (0 = one per core)")
 	benchV       = flag.Bool("eac.v", false, "log every completed experiment run")
+	benchCache   = flag.String("eac.cache", "", "content-addressed result-cache directory for experiment runs (empty = caching off)")
 )
 
 // benchOpts assembles experiment options from the bench flags. The
@@ -55,6 +56,14 @@ func benchOpts(b *testing.B) experiments.Options {
 	opts.Workers = *benchWorkers
 	if *benchV {
 		opts.Progress = func(format string, args ...any) { b.Logf(format, args...) }
+	}
+	if *benchCache != "" {
+		store, err := eac.OpenResultCache(*benchCache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.Cache = store
+		b.Cleanup(func() { b.Logf("result cache: %s (%s)", store.Stats(), store.Dir()) })
 	}
 	return opts
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"eac/internal/admission"
+	"eac/internal/cache"
 	"eac/internal/obs"
 	"eac/internal/scenario"
 	"eac/internal/sim"
@@ -77,6 +78,10 @@ func main() {
 		probeDur = flag.Float64("probe", 5, "total probe duration, seconds")
 		useRED   = flag.Bool("red", false, "use a RED queue instead of drop-tail (in-band designs only)")
 		retries  = flag.Int("retries", 0, "max admission retries with exponential back-off")
+
+		// Result cache (see README "Result cache").
+		useCache = flag.Bool("cache", false, "serve repeated runs from the content-addressed result cache")
+		cacheDir = flag.String("cache-dir", "", "result cache directory (implies -cache; default $EAC_CACHE_DIR or the user cache dir)")
 
 		// Observability and profiling (see README "Observability").
 		obsDir    = flag.String("obs", "", "write observability artifacts (run manifest, per-queue time-series CSVs, JSONL event traces) under this directory")
@@ -153,6 +158,18 @@ func main() {
 		}
 	}
 
+	var store *cache.Store
+	if *useCache || *cacheDir != "" {
+		var err error
+		if store, err = cache.Open(*cacheDir); err != nil {
+			log.Fatal(err)
+		}
+		cfg.Cache = store
+		if cfg.Obs.Enabled {
+			log.Print("result cache: bypassed while observability is active (artifacts cannot come from a cache)")
+		}
+	}
+
 	seedVals := scenario.DefaultSeeds(*seeds)
 	start := time.Now()
 	mm, err := scenario.RunSeedsParallel(cfg, seedVals, *workers)
@@ -185,6 +202,9 @@ func main() {
 			"blocking": m.BlockingProb, "decided": m.Decided,
 			"probe_share": m.ProbeShare,
 		}
+		if store != nil {
+			man.Cache = &cache.Snapshot{Dir: store.Dir(), Stats: store.Stats()}
+		}
 		for _, s := range seedVals {
 			series, trace := cfg.Obs.ArtifactPaths(s)
 			man.Artifacts = append(man.Artifacts, series)
@@ -207,6 +227,9 @@ func main() {
 	fmt.Printf("loss     : %.3e (+/- %.1e)\n", m.DataLossProb, mm.LossStderr)
 	fmt.Printf("blocking : %.4f over %d decided flows\n", m.BlockingProb, m.Decided)
 	fmt.Printf("probes   : %.4f of the allocated share\n", m.ProbeShare)
+	if store != nil {
+		log.Printf("result cache: %s (%s)", store.Stats(), store.Dir())
+	}
 	for _, cm := range m.Classes {
 		if len(m.Classes) > 1 {
 			fmt.Printf("  class %-10s blocking=%.4f loss=%.3e\n", cm.Name, cm.BlockingProb(), cm.LossProb())

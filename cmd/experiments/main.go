@@ -7,6 +7,8 @@
 //	experiments                     # all experiments, quick mode
 //	experiments -run figure2        # one experiment
 //	experiments -paper -seeds 7     # full publication scale (hours)
+//	experiments -cache              # serve repeated runs from the result cache
+//	experiments -cache-clear        # wipe the result cache and exit
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"eac/internal/cache"
 	"eac/internal/experiments"
 	"eac/internal/obs"
 	"eac/internal/sim"
@@ -39,6 +42,12 @@ func main() {
 		outDir   = flag.String("out", "results", "directory for CSV output (empty = no files)")
 		verbose  = flag.Bool("v", false, "log every completed run")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+
+		// Result cache (see README "Result cache").
+		useCache   = flag.Bool("cache", false, "serve repeated runs from the content-addressed result cache")
+		cacheDir   = flag.String("cache-dir", "", "result cache directory (implies -cache; default $EAC_CACHE_DIR or the user cache dir)")
+		cacheClear = flag.Bool("cache-clear", false, "delete every entry in the result cache and exit")
+		cacheStats = flag.Bool("cache.stats", false, "print per-experiment cache hit/miss counts at exit")
 
 		// Observability and profiling (see EXPERIMENTS.md "Observability").
 		eta       = flag.Bool("eta", false, "report live progress and ETA on stderr")
@@ -61,6 +70,22 @@ func main() {
 		return
 	}
 
+	var store *cache.Store
+	if *useCache || *cacheDir != "" || *cacheClear || *cacheStats {
+		var err error
+		if store, err = cache.Open(*cacheDir); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *cacheClear {
+		entries, bytes := store.Len()
+		if err := store.Clear(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("result cache cleared: %d entries, %d bytes (%s)", entries, bytes, store.Dir())
+		return
+	}
+
 	opts := experiments.Quick()
 	if *paper {
 		opts = experiments.Paper()
@@ -69,6 +94,7 @@ func main() {
 	opts.Duration = sim.Seconds(*duration)
 	opts.Warmup = sim.Seconds(*warmup)
 	opts.Workers = *workers
+	opts.Cache = store
 	if *verbose {
 		opts.Progress = func(format string, args ...any) { log.Printf(format, args...) }
 	}
@@ -117,11 +143,19 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	perExperiment := make(map[string]cache.Stats, len(todo))
 	for _, ex := range todo {
 		start := time.Now()
+		var statsBefore cache.Stats
+		if store != nil {
+			statsBefore = store.Stats()
+		}
 		tbl, err := ex.Run(opts)
 		if err != nil {
 			log.Fatalf("%s: %v", ex.ID, err)
+		}
+		if store != nil {
+			perExperiment[ex.ID] = store.Stats().Sub(statsBefore)
 		}
 		fmt.Println(tbl.String())
 		w := *workers
@@ -148,11 +182,22 @@ func main() {
 				}
 				man.Summary = map[string]any{"rows": len(tbl.Rows)}
 				man.Artifacts = []string{ex.ID + ".csv"}
+				if store != nil {
+					man.Cache = &cache.Snapshot{Dir: store.Dir(), Stats: perExperiment[ex.ID]}
+				}
 				mp := filepath.Join(*outDir, ex.ID+".manifest.json")
 				if err := man.Write(mp); err != nil {
 					log.Fatal(err)
 				}
 			}
 		}
+	}
+	if store != nil {
+		if *cacheStats {
+			for _, ex := range todo {
+				log.Printf("cache %-10s %s", ex.ID, perExperiment[ex.ID])
+			}
+		}
+		log.Printf("result cache: %s (%s)", store.Stats(), store.Dir())
 	}
 }

@@ -36,6 +36,7 @@ package eac
 
 import (
 	"eac/internal/admission"
+	"eac/internal/cache"
 	"eac/internal/fluid"
 	"eac/internal/obs"
 	"eac/internal/scenario"
@@ -181,6 +182,47 @@ func DefaultSeeds(n int) []uint64 { return scenario.DefaultSeeds(n) }
 func RunTCPShare(cfg TCPShareConfig) (TCPShareResult, error) {
 	return scenario.RunTCPShare(cfg)
 }
+
+// Grid throughput layer: the content-addressed result cache and the
+// per-worker simulator-state reuse path (see DESIGN.md §4d).
+type (
+	// ResultCache is the content-addressed on-disk result store. Attach
+	// one via Config.Cache (or experiments.Options.Cache) and runs whose
+	// resolved-config+seed fingerprint is stored are served without
+	// simulating; output is byte-identical either way.
+	ResultCache = cache.Store
+	// CacheStats counts result-cache traffic (hits, misses, corrupt
+	// entries, stores, bytes).
+	CacheStats = cache.Stats
+	// CacheSnapshot pairs CacheStats with the cache directory, as
+	// recorded in run manifests.
+	CacheSnapshot = cache.Snapshot
+	// Workspace runs scenarios back to back on recycled simulator state
+	// (event-heap slab, link rings, packet pool, probers). A Workspace
+	// is single-goroutine; use one per worker.
+	Workspace = scenario.Workspace
+)
+
+// ResultsVersion is the salt folded into every result-cache fingerprint.
+// It is bumped whenever a results-affecting package changes, invalidating
+// stale cached metrics wholesale.
+const ResultsVersion = scenario.ResultsVersion
+
+// OpenResultCache opens (creating if necessary) a result cache rooted at
+// dir.
+func OpenResultCache(dir string) (*ResultCache, error) { return cache.Open(dir) }
+
+// DefaultResultCacheDir returns the conventional cache location
+// (os.UserCacheDir()/eac-results, with fallbacks).
+func DefaultResultCacheDir() string { return cache.DefaultDir() }
+
+// NewWorkspace returns an empty workspace; its first Run builds the
+// simulator, later Runs recycle it.
+func NewWorkspace() *Workspace { return scenario.NewWorkspace() }
+
+// Fingerprint returns the content address a run of cfg is cached under:
+// a SHA-256 over the fully-resolved config, the seed, and ResultsVersion.
+func Fingerprint(cfg Config) string { return cfg.Fingerprint() }
 
 // Fluid model (Section 2.2.3 / Figure 1).
 type (

@@ -140,31 +140,30 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
-// stages returns the per-stage probing rates for a flow of token rate r.
-func (c Config) stages(r float64) []float64 {
+// stagesInto appends the per-stage probing rates for a flow of token rate
+// r to dst (reusing its capacity).
+func (c Config) stagesInto(dst []float64, r float64) []float64 {
 	switch c.Kind {
 	case SlowStart:
 		n := int(c.ProbeDur / c.StageDur)
 		if n < 1 {
 			n = 1
 		}
-		rates := make([]float64, n)
-		for i := range rates {
-			rates[i] = r / float64(int64(1)<<uint(n-1-i))
+		for i := 0; i < n; i++ {
+			dst = append(dst, r/float64(int64(1)<<uint(n-1-i)))
 		}
-		return rates
+		return dst
 	case EarlyReject:
 		n := int(c.ProbeDur / c.StageDur)
 		if n < 1 {
 			n = 1
 		}
-		rates := make([]float64, n)
-		for i := range rates {
-			rates[i] = r
+		for i := 0; i < n; i++ {
+			dst = append(dst, r)
 		}
-		return rates
+		return dst
 	default: // Simple: one stage covering the whole probe period
-		return []float64{r}
+		return append(dst, r)
 	}
 }
 
@@ -213,28 +212,72 @@ type Prober struct {
 	stageStart []sim.Time // when each stage began sending
 
 	checkEv  *sim.Event // periodic early-stop check
+	stageEv  *sim.Event // end of the currently sending stage
 	finished bool
 }
 
 // NewProber builds a prober for a flow with token rate r (bits/s) and
 // probe packets of pktSize bytes. done is invoked exactly once.
 func NewProber(s *sim.Sim, cfg Config, flowID int, r float64, pktSize int, route []netsim.Receiver, pool *netsim.Pool, done func(Result)) *Prober {
-	cfg = cfg.WithDefaults()
-	p := &Prober{
-		s: s, cfg: cfg, flowID: flowID, rate: r, pkt: pktSize,
-		route: route, pool: pool, done: done,
-	}
-	p.rates = cfg.stages(r)
-	n := len(p.rates)
-	p.sent = make([]int64, n)
-	p.recv = make([]int64, n)
-	p.marked = make([]int64, n)
-	p.gaps = make([]int64, n)
-	p.expect = make([]int64, n)
-	p.stageStart = make([]sim.Time, n)
-	p.cbr = trafgen.NewCBR(s, p.rates[0], pktSize, p.emit)
+	p := &Prober{s: s, pool: pool}
+	p.cbr = trafgen.NewCBR(s, 1, 1, p.emit) // re-parameterized by Reinit
 	p.checkEv = sim.NewEvent(p.periodicCheck)
+	p.stageEv = sim.NewEvent(p.endStage)
+	p.Reinit(cfg, flowID, r, pktSize, route, done)
 	return p
+}
+
+// Reinit rewinds an idle prober for another admission attempt, reusing its
+// stage-accounting slices, CBR source, and internal events in place of a
+// NewProber allocation (probers dominate the per-flow allocation bill).
+// The prober must not be probing: finished, Abort-ed, or retired by
+// ForgetEvents after a simulator reset. Stale probe packets cannot confuse
+// the reincarnation — the scenario retries a flow only after a back-off
+// far exceeding the path drain time, and a simulator reset empties the
+// network entirely.
+func (p *Prober) Reinit(cfg Config, flowID int, r float64, pktSize int, route []netsim.Receiver, done func(Result)) {
+	cfg = cfg.WithDefaults()
+	p.cfg, p.flowID, p.rate, p.pkt = cfg, flowID, r, pktSize
+	p.route, p.done = route, done
+	p.rates = cfg.stagesInto(p.rates[:0], r)
+	n := len(p.rates)
+	p.sent = zeroed(p.sent, n)
+	p.recv = zeroed(p.recv, n)
+	p.marked = zeroed(p.marked, n)
+	p.gaps = zeroed(p.gaps, n)
+	p.expect = zeroed(p.expect, n)
+	if cap(p.stageStart) < n {
+		p.stageStart = make([]sim.Time, n)
+	}
+	p.stageStart = p.stageStart[:n]
+	for i := range p.stageStart {
+		p.stageStart[i] = 0
+	}
+	p.cbr.Reinit(p.rates[0], pktSize)
+	p.stage, p.started, p.finished = 0, 0, false
+}
+
+// zeroed returns s resized to n elements, all zero, reusing its capacity.
+func zeroed(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// ForgetEvents clears the prober's pending internal events without
+// touching any simulator. Valid only together with a sim.Reset that wiped
+// the old heap (see sim.Event.Forget); use Abort otherwise. The prober is
+// left finished, ready for Reinit.
+func (p *Prober) ForgetEvents() {
+	p.finished = true
+	p.checkEv.Forget()
+	p.stageEv.Forget()
+	p.cbr.Forget()
 }
 
 // Start begins probing.
@@ -245,7 +288,7 @@ func (p *Prober) Start(now sim.Time) {
 	p.cbr.SetRate(p.rates[0])
 	p.cbr.Start(now)
 	// The stage stops sending at stageDur and is judged Guard later.
-	p.s.CallIn(p.cfg.stageDur(), p.endStage)
+	p.s.Schedule(p.stageEv, now+p.cfg.stageDur())
 	p.s.Schedule(p.checkEv, now+p.checkInterval())
 }
 
@@ -257,6 +300,7 @@ func (p *Prober) Abort() {
 	p.finished = true
 	p.cbr.Stop()
 	p.s.Cancel(p.checkEv)
+	p.s.Cancel(p.stageEv)
 }
 
 // emit sends one probe packet.
@@ -292,7 +336,7 @@ func (p *Prober) endStage(now sim.Time) {
 		p.stageStart[p.stage] = now
 		p.cbr.SetRate(p.rates[p.stage])
 		p.cbr.Start(now)
-		p.s.CallIn(p.cfg.stageDur(), p.endStage)
+		p.s.Schedule(p.stageEv, now+p.cfg.stageDur())
 	}
 }
 
@@ -416,6 +460,7 @@ func (p *Prober) finish(now sim.Time, r Result) {
 	p.finished = true
 	p.cbr.Stop()
 	p.s.Cancel(p.checkEv)
+	p.s.Cancel(p.stageEv)
 	for i := range p.sent {
 		r.Sent += p.sent[i]
 		r.Marked += p.marked[i]

@@ -76,7 +76,7 @@ func (nullSink) Receive(now sim.Time, p *netsim.Packet) {}
 
 func TestConfigStagesSlowStart(t *testing.T) {
 	c := Config{Kind: SlowStart}.WithDefaults()
-	rates := c.stages(256e3)
+	rates := c.stagesInto(nil, 256e3)
 	want := []float64{256e3 / 16, 256e3 / 8, 256e3 / 4, 256e3 / 2, 256e3}
 	if len(rates) != 5 {
 		t.Fatalf("stages = %v", rates)
@@ -90,14 +90,14 @@ func TestConfigStagesSlowStart(t *testing.T) {
 
 func TestConfigStagesSimpleAndEarlyReject(t *testing.T) {
 	c := Config{Kind: Simple}.WithDefaults()
-	if got := c.stages(100); len(got) != 1 || got[0] != 100 {
+	if got := c.stagesInto(nil, 100); len(got) != 1 || got[0] != 100 {
 		t.Fatalf("simple stages = %v", got)
 	}
 	if c.stageDur() != 5*sim.Second {
 		t.Fatalf("simple stage duration = %v", c.stageDur())
 	}
 	c = Config{Kind: EarlyReject}.WithDefaults()
-	got := c.stages(100)
+	got := c.stagesInto(nil, 100)
 	if len(got) != 5 {
 		t.Fatalf("early-reject stages = %v", got)
 	}

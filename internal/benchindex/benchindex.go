@@ -1,0 +1,67 @@
+// Package benchindex maintains results/BENCH_index.json: a single flat,
+// machine-readable index of every performance headline this repo has
+// measured, one record per (benchmark, metric) pair. The per-benchmark
+// files (BENCH_parallel.json, BENCH_obs.json, BENCH_hotpath.json,
+// BENCH_grid.json) keep their full context — workload descriptions,
+// baselines, per-variant breakdowns — while the index holds just the
+// trajectory: what was measured, when, against which baseline. The
+// `make bench-*` targets append to it via the benchmarks themselves.
+package benchindex
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Record is one measured headline number.
+type Record struct {
+	// Name identifies the producing benchmark, e.g. "BenchmarkGrid/warm".
+	Name string `json:"name"`
+	// Date is the measurement time, RFC 3339 UTC.
+	Date string `json:"date"`
+	// Metric names what was measured, e.g. "ns_per_grid" or
+	// "allocs_per_cell".
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit"`
+	// Baseline is the comparison point this value should be read against
+	// (same unit), or 0 when the record is absolute.
+	Baseline float64 `json:"baseline,omitempty"`
+}
+
+// Read loads the index at path. A missing file is an empty index.
+func Read(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("benchindex: %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// Append adds records to the index at path, creating it (and its
+// directory) if needed. The file stays one sorted-by-insertion JSON
+// array, so successive `make bench-*` runs accumulate the trajectory.
+func Append(path string, recs ...Record) error {
+	existing, err := Read(path)
+	if err != nil {
+		return err
+	}
+	existing = append(existing, recs...)
+	out, err := json.MarshalIndent(existing, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,49 @@
+package benchindex
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestAppendAccumulates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested", "BENCH_index.json")
+
+	recs, err := Read(path)
+	if err != nil || recs != nil {
+		t.Fatalf("Read(missing) = %v, %v, want empty", recs, err)
+	}
+
+	a := Record{Name: "BenchmarkGrid/cold", Date: "2026-08-05T00:00:00Z",
+		Metric: "ns_per_grid", Value: 1e9, Unit: "ns"}
+	b := Record{Name: "BenchmarkGrid/warm", Date: "2026-08-05T00:00:00Z",
+		Metric: "ns_per_grid", Value: 1e8, Unit: "ns", Baseline: 1e9}
+	if err := Append(path, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, b); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err = Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Record{a, b}; !reflect.DeepEqual(recs, want) {
+		t.Fatalf("Read = %+v, want %+v", recs, want)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_index.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("Read(garbage) succeeded, want error")
+	}
+	if err := Append(path, Record{Name: "x"}); err == nil {
+		t.Fatal("Append onto garbage succeeded, want error")
+	}
+}

@@ -1,0 +1,227 @@
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testKey(s string) string {
+	h := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(h[:])
+}
+
+func TestRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("cell-1")
+	if _, ok := st.Get(key); ok {
+		t.Fatal("Get on empty store reported a hit")
+	}
+	payload := []byte(`{"utilization":0.87}`)
+	if err := st.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want stored payload", got, ok)
+	}
+	s := st.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 || s.Corrupt != 0 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 miss, 1 put", s)
+	}
+	if s.BytesRead != int64(len(payload)) || s.BytesWritten != int64(len(payload)) {
+		t.Fatalf("stats bytes = %+v; want %d read and written", s, len(payload))
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("empty")
+	if err := st.Put(key, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Get(key)
+	if !ok || len(got) != 0 {
+		t.Fatalf("Get = %q, %v; want empty hit", got, ok)
+	}
+}
+
+// TestCorruptEntryDetected flips, truncates, and garbage-fills an entry
+// and checks each mutation is detected, deleted, and counted.
+func TestCorruptEntryDetected(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"flipped-payload-byte", func(b []byte) []byte {
+			b[len(b)-1] ^= 0x40
+			return b
+		}},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"bad-magic", func(b []byte) []byte {
+			b[0] = 'X'
+			return b
+		}},
+		{"short-file", func(b []byte) []byte { return b[:4] }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			st, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := testKey("victim")
+			if err := st.Put(key, []byte("payload-bytes-here")); err != nil {
+				t.Fatal(err)
+			}
+			path := st.path(key)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, m.mut(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := st.Get(key); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			s := st.Stats()
+			if s.Corrupt != 1 {
+				t.Fatalf("Corrupt = %d, want 1 (stats %+v)", s.Corrupt, s)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry not deleted: %v", err)
+			}
+			// The slot is reusable: a fresh Put round-trips again.
+			if err := st.Put(key, []byte("recomputed")); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := st.Get(key); !ok || string(got) != "recomputed" {
+				t.Fatalf("recomputed entry Get = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("stale-schema")
+	if err := st.Put(key, []byte("not json anymore")); err != nil {
+		t.Fatal(err)
+	}
+	st.Discard(key)
+	if _, ok := st.Get(key); ok {
+		t.Fatal("discarded entry still served")
+	}
+	if s := st.Stats(); s.Corrupt != 1 {
+		t.Fatalf("Discard not counted as corrupt: %+v", s)
+	}
+}
+
+func TestInvalidKeys(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "short", "UPPERCASE00", "../../../../etc/passwd", "abc/def0"} {
+		if _, ok := st.Get(key); ok {
+			t.Fatalf("Get(%q) hit", key)
+		}
+		if err := st.Put(key, []byte("x")); err == nil {
+			t.Fatalf("Put(%q) accepted", key)
+		}
+	}
+}
+
+func TestClearAndLen(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := st.Put(testKey(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := st.Len(); n != 5 {
+		t.Fatalf("Len = %d, want 5", n)
+	}
+	if err := st.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if n, sz := st.Len(); n != 0 || sz != 0 {
+		t.Fatalf("after Clear: %d entries, %d bytes", n, sz)
+	}
+	// Still usable.
+	if err := st.Put(testKey("again"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilStoreIsInert(t *testing.T) {
+	var st *Store
+	if _, ok := st.Get(testKey("x")); ok {
+		t.Fatal("nil store hit")
+	}
+	if err := st.Put(testKey("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	st.Discard(testKey("x"))
+	if s := st.Stats(); s != (Stats{}) {
+		t.Fatalf("nil store stats %+v", s)
+	}
+}
+
+// TestConcurrentPutGet hammers one store from many goroutines the way the
+// sweep engine's workers do.
+func TestConcurrentPutGet(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys, workers = 16, 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := testKey(fmt.Sprintf("cell-%d", i%keys))
+				want := []byte(fmt.Sprintf("value-%d", i%keys))
+				if got, ok := st.Get(key); ok && !bytes.Equal(got, want) {
+					t.Errorf("worker %d: Get = %q, want %q", w, got, want)
+					return
+				}
+				if err := st.Put(key, want); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := st.Stats(); s.Corrupt != 0 {
+		t.Fatalf("concurrent traffic produced corrupt reads: %+v", s)
+	}
+}
+
+func TestDefaultDirEnvOverride(t *testing.T) {
+	t.Setenv("EAC_CACHE_DIR", filepath.Join(t.TempDir(), "custom"))
+	if got, want := DefaultDir(), os.Getenv("EAC_CACHE_DIR"); got != want {
+		t.Fatalf("DefaultDir = %q, want %q", got, want)
+	}
+}

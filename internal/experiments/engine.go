@@ -39,8 +39,12 @@ var errSkipped = errors.New("experiments: run skipped after earlier error")
 // (streaming: done(i) fires as soon as runs 0..i have all finished, not
 // after the whole batch). The first error — from run, in index order, or
 // from done — stops the sweep and is returned; in-flight runs finish but
-// unclaimed ones are skipped.
-func runOrdered[T any](workers, n int, run func(i int) (T, error), done func(i int, v T) error) error {
+// unclaimed ones are skipped. run receives the claiming worker's index in
+// [0, workers) so callers can keep per-worker state (e.g. a
+// scenario.Workspace recycling simulator slabs between the runs one
+// goroutine happens to claim); results must not depend on which worker
+// runs what.
+func runOrdered[T any](workers, n int, run func(worker, i int) (T, error), done func(i int, v T) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -52,7 +56,7 @@ func runOrdered[T any](workers, n int, run func(i int) (T, error), done func(i i
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			v, err := run(i)
+			v, err := run(0, i)
 			if err != nil {
 				return err
 			}
@@ -76,7 +80,7 @@ func runOrdered[T any](workers, n int, run func(i int) (T, error), done func(i i
 	}()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(nextTask.Add(1))
@@ -86,14 +90,14 @@ func runOrdered[T any](workers, n int, run func(i int) (T, error), done func(i i
 				if stop.Load() {
 					errs[i] = errSkipped
 				} else {
-					results[i], errs[i] = run(i)
+					results[i], errs[i] = run(w, i)
 					if errs[i] != nil {
 						stop.Store(true)
 					}
 				}
 				completed <- i
 			}
-		}()
+		}(w)
 	}
 
 	ready := make([]bool, n)
@@ -133,18 +137,28 @@ func (o Options) runJobs(jobs []Job) error {
 	total := len(jobs) * ns
 	start := time.Now()
 	runs := make([]scenario.Metrics, ns)
+	// One workspace per worker: the runs a goroutine claims reuse its
+	// simulator state (and worker count cannot affect results — the
+	// workspace reuse path is byte-identical to fresh construction).
+	workspaces := make([]*scenario.Workspace, o.workers())
 	return runOrdered(o.workers(), total,
-		func(i int) (scenario.Metrics, error) {
+		func(worker, i int) (scenario.Metrics, error) {
 			job, seed := i/ns, i%ns
 			c := jobs[job].Cfg
 			c.Seed = seeds[seed]
+			c.Cache = o.Cache
 			if o.Obs.Active() {
 				// Per-run observability: every run gets its own
 				// collector; artifacts are named by point label + seed.
 				c.Obs = o.Obs
 				c.Obs.Label = joinLabel(o.Obs.Label, fileLabel(jobs[job].Label))
 			}
-			m, err := scenario.Run(c)
+			ws := workspaces[worker]
+			if ws == nil {
+				ws = scenario.NewWorkspace()
+				workspaces[worker] = ws
+			}
+			m, err := ws.Run(c)
 			if err != nil {
 				return m, fmt.Errorf("%s: %w", jobs[job].Label, err)
 			}

@@ -21,7 +21,7 @@ func TestRunOrderedStreamsInOrder(t *testing.T) {
 	var ran atomic.Int64
 	var got []int
 	err := runOrdered(8, n,
-		func(i int) (int, error) {
+		func(_, i int) (int, error) {
 			// Reverse the natural completion order a little.
 			time.Sleep(time.Duration((n-i)%7) * time.Millisecond)
 			ran.Add(1)
@@ -55,7 +55,7 @@ func TestRunOrderedError(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		var doneCount int
 		err := runOrdered(workers, 100,
-			func(i int) (int, error) {
+			func(_, i int) (int, error) {
 				if i == 3 {
 					return 0, boom
 				}
@@ -81,7 +81,7 @@ func TestRunOrderedError(t *testing.T) {
 func TestRunOrderedDoneError(t *testing.T) {
 	halt := errors.New("halt")
 	err := runOrdered(4, 20,
-		func(i int) (int, error) { return i, nil },
+		func(_, i int) (int, error) { return i, nil },
 		func(i, v int) error {
 			if i == 2 {
 				return halt

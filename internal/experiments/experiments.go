@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"eac/internal/admission"
+	"eac/internal/cache"
 	"eac/internal/obs"
 	"eac/internal/scenario"
 	"eac/internal/sim"
@@ -62,6 +63,13 @@ type Options struct {
 	// vary run to run, while Progress lines are part of the
 	// byte-identical-output guarantee.
 	ETA func(done, total int, elapsed time.Duration)
+	// Cache, if non-nil, is the content-addressed result store consulted
+	// for every sweep run (scenario.Config.Cache): runs whose resolved
+	// config + seed fingerprint is stored are served without simulating,
+	// and computed runs are stored. Tables and CSVs stay byte-identical
+	// with the cache cold, warm, or absent. Ignored for runs that have
+	// observability active (artifacts cannot come from a cache).
+	Cache *cache.Store
 	// Obs, if active, attaches a per-run observability collector
 	// (internal/obs) to every sweep run: time-series and trace artifacts
 	// are written under Obs.Dir, named by sweep-point label and seed.

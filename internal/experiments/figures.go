@@ -36,7 +36,7 @@ func Figure1(o Options) (Table, error) {
 	}
 	probes := []float64{5, 10, 15, 20, 24, 26, 28, 30, 34, 40}
 	err := runOrdered(o.workers(), len(probes),
-		func(i int) (fluid.Result, error) {
+		func(_, i int) (fluid.Result, error) {
 			res, err := fluid.Solve(fluid.Params{Tprobe: probes[i], MaxP: maxP})
 			if err != nil {
 				return res, fmt.Errorf("figure1 Tprobe=%v: %w", probes[i], err)
@@ -305,7 +305,7 @@ func Figure11(o Options) (Table, error) {
 	// The TCP-coexistence points run a different simulator entry point
 	// (RunTCPShare), so they fan out per point rather than per point×seed.
 	err := runOrdered(o.workers(), len(epsList),
-		func(i int) (scenario.TCPShareResult, error) {
+		func(_, i int) (scenario.TCPShareResult, error) {
 			cfg := scenario.TCPShareConfig{
 				Eps:          epsList[i],
 				InterArrival: o.tau(3.5),

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+
+	"eac/internal/cache"
+)
+
+// TestGridCacheWarmIdentical is the grid-level cache conformance check CI
+// runs: a full experiment sweep at conformance scale, executed three ways —
+// cache absent, cache cold, cache warm — must render byte-identical CSVs,
+// and the warm pass must be served entirely from the store (zero misses,
+// zero simulator-backed puts). This is the end-to-end guarantee behind
+// Options.Cache: the cache can only change wall-clock time, never output.
+func TestGridCacheWarmIdentical(t *testing.T) {
+	ex, err := Lookup("figure2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Conformance()
+
+	uncached, err := ex.Run(opts)
+	if err != nil {
+		t.Fatalf("uncached run: %v", err)
+	}
+
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Cache = store
+
+	cold, err := ex.Run(opts)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	cs := store.Stats()
+	if cs.Hits != 0 {
+		t.Errorf("cold pass hit the empty cache %d times", cs.Hits)
+	}
+	if cs.Misses == 0 || cs.Puts != cs.Misses {
+		t.Errorf("cold pass: misses=%d puts=%d, want every miss stored", cs.Misses, cs.Puts)
+	}
+
+	warm, err := ex.Run(opts)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	ws := store.Stats().Sub(cs)
+	if ws.Misses != 0 || ws.Puts != 0 || ws.Corrupt != 0 {
+		t.Errorf("warm pass not fully cache-served: %+v", ws)
+	}
+	if ws.Hits != cs.Misses {
+		t.Errorf("warm pass hits=%d, want one per cold-pass run (%d)", ws.Hits, cs.Misses)
+	}
+
+	if cold.CSV() != uncached.CSV() {
+		t.Errorf("cold-cache CSV differs from uncached CSV:\n--- uncached ---\n%s--- cold ---\n%s",
+			uncached.CSV(), cold.CSV())
+	}
+	if warm.CSV() != uncached.CSV() {
+		t.Errorf("warm-cache CSV differs from uncached CSV:\n--- uncached ---\n%s--- warm ---\n%s",
+			uncached.CSV(), warm.CSV())
+	}
+}

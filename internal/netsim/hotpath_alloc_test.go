@@ -57,4 +57,25 @@ func TestSteadyStatePacketPathZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("steady-state per-packet path allocated %v times per 200ms slice, want 0", allocs)
 	}
+
+	// Reused-worker path: rewind the simulator and the link as the grid
+	// reset path does and replay. The recycled slabs are already at
+	// steady-state size, so the second run's packet path must also be
+	// allocation-free — growth may not sneak back in via Reset.
+	s.Reset()
+	link.Reset(10e6, 5*sim.Millisecond, pool.Put)
+	q.SetCap(64)
+	link.Marker = NewVirtualQueue(9e6, 64*1000)
+	link.OnDrop = func(_ sim.Time, p *Packet) { pool.Put(p) }
+	emitEvery(Data, BandData, 1000, 800*sim.Microsecond)
+	emitEvery(Probe, BandProbe, 500, 1700*sim.Microsecond)
+	until = 200 * sim.Millisecond
+	s.Run(until) // refill queues and pipe from the recycled pool
+	allocs = testing.AllocsPerRun(5, func() {
+		until += 200 * sim.Millisecond
+		s.Run(until)
+	})
+	if allocs != 0 {
+		t.Fatalf("reused-worker steady-state path allocated %v times per 200ms slice, want 0", allocs)
+	}
 }

@@ -117,6 +117,54 @@ func NewLink(s *sim.Sim, name string, rateBps float64, delay sim.Time, q Discipl
 
 func (l *Link) String() string { return fmt.Sprintf("link(%s)", l.Name) }
 
+// Reset returns the link to its just-constructed idle state for a new run
+// on a Reset simulator, retaining the pipe ring's backing array (and the
+// discipline's, which keeps its own arrays but is emptied). Packets still
+// queued, in transmission, or propagating are handed to recycle (nil
+// discards them to the garbage collector). The hooks — Marker,
+// VQDropProbes, OnDrop, OnArrive, Tap — are cleared; the owner reattaches
+// whatever the new run needs. Callers that change the buffer capacity or
+// the discipline kind assign l.Q (or call PriorityPushout.SetCap) after
+// Reset returns. Must only be used together with Sim.Reset: the link's
+// internal events are Forgotten, which is valid only because the old
+// heap was wiped.
+func (l *Link) Reset(rateBps float64, delay sim.Time, recycle func(*Packet)) {
+	if rateBps <= 0 {
+		panic("netsim: Link.Reset requires positive rate")
+	}
+	if l.txPkt != nil {
+		if recycle != nil {
+			recycle(l.txPkt)
+		}
+		l.txPkt = nil
+	}
+	for p := l.Q.Dequeue(); p != nil; p = l.Q.Dequeue() {
+		if recycle != nil {
+			recycle(p)
+		}
+	}
+	for l.pipeN > 0 {
+		f := l.pipe[l.pipeHd]
+		l.pipe[l.pipeHd] = inflight{}
+		l.pipeHd = (l.pipeHd + 1) & (len(l.pipe) - 1)
+		l.pipeN--
+		if recycle != nil {
+			recycle(f.p)
+		}
+	}
+	l.pipeHd = 0
+	l.RateBps = rateBps
+	l.Delay = delay
+	l.nsPerBit = float64(sim.Second) / rateBps
+	l.busy = false
+	l.Stats = LinkStats{}
+	l.Marker = nil
+	l.VQDropProbes = false
+	l.OnDrop, l.OnArrive, l.Tap = nil, nil, nil
+	l.txDone.Forget()
+	l.pipeEv.Forget()
+}
+
 // Receive implements Receiver: the packet arrives at this link's queue.
 // The telemetry dispatch happens once here: the untraced path (Tap == nil,
 // the default) runs with no per-branch tap checks at all.

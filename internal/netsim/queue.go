@@ -170,5 +170,19 @@ func (q *PriorityPushout) Dequeue() *Packet {
 // Len implements Discipline.
 func (q *PriorityPushout) Len() int { return q.total }
 
+// SetCap changes the shared buffer capacity of an EMPTY queue, retaining
+// the band rings' backing arrays. It is the discipline half of the
+// run-state reuse path (Link.Reset drains the queue first); it panics on
+// a non-empty queue because resizing one has no well-defined semantics.
+func (q *PriorityPushout) SetCap(capPackets int) {
+	if capPackets <= 0 {
+		panic("netsim: PriorityPushout.SetCap requires positive capacity")
+	}
+	if q.total != 0 {
+		panic("netsim: PriorityPushout.SetCap on a non-empty queue")
+	}
+	q.cap = capPackets
+}
+
 // BandLen returns the number of waiting packets in one band.
 func (q *PriorityPushout) BandLen(b int) int { return q.bands[b].n }

@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"testing"
+
+	"eac/internal/sim"
+)
+
+// collectRecv records delivery times/seqs at the end of a route.
+type collectRecv struct {
+	pool *Pool
+	got  []int64
+}
+
+func (c *collectRecv) Receive(now sim.Time, p *Packet) {
+	c.got = append(c.got, int64(now)<<16|int64(p.Seq&0xffff))
+	c.pool.Put(p)
+}
+
+// driveLink pushes a fixed deterministic workload through l and returns the
+// delivery log. The workload oversubscribes the queue so drops, pushouts and
+// the in-flight pipe all get exercised.
+func driveLink(s *sim.Sim, l *Link, pool *Pool, sink *collectRecv) []int64 {
+	sink.got = sink.got[:0]
+	route := []Receiver{l, sink}
+	for i := 0; i < 60; i++ {
+		i := i
+		s.Call(sim.Time(i)*sim.Millisecond/4, func(now sim.Time) {
+			p := pool.Get()
+			p.FlowID = 1
+			p.Seq = int64(i)
+			p.Size = 1000
+			if i%5 == 4 {
+				p.Kind = Probe
+				p.Band = BandProbe
+			}
+			p.Route = route
+			p.Forward(now)
+		})
+	}
+	s.Run(200 * sim.Millisecond)
+	return append([]int64(nil), sink.got...)
+}
+
+// TestLinkResetReplayIdentical pins the link half of run-state reuse: after
+// Sim.Reset + Link.Reset (+ SetCap), replaying a workload produces delivery
+// order, stats, and queue state identical to a fresh link's.
+func TestLinkResetReplayIdentical(t *testing.T) {
+	run := func(s *sim.Sim, l *Link, pool *Pool) ([]int64, LinkStats) {
+		sink := &collectRecv{pool: pool}
+		l.OnDrop = func(_ sim.Time, p *Packet) { pool.Put(p) }
+		got := driveLink(s, l, pool, sink)
+		return got, l.Stats
+	}
+
+	// Fresh baseline.
+	s1 := sim.New()
+	var pool1 Pool
+	l1 := NewLink(s1, "L0", 1e6, 5*sim.Millisecond, NewPriorityPushout(8))
+	wantLog, wantStats := run(s1, l1, &pool1)
+
+	// Reused path: run once, reset mid-flight state, run again.
+	s2 := sim.New()
+	var pool2 Pool
+	l2 := NewLink(s2, "L0", 2e6, sim.Millisecond, NewPriorityPushout(4))
+	l2.OnDrop = func(_ sim.Time, p *Packet) { pool2.Put(p) }
+	firstSink := &collectRecv{pool: &pool2}
+	driveLink(s2, l2, &pool2, firstSink)
+
+	s2.Reset()
+	l2.Reset(1e6, 5*sim.Millisecond, pool2.Put)
+	l2.Q.(*PriorityPushout).SetCap(8)
+	if l2.QueueLen() != 0 || l2.Busy() {
+		t.Fatalf("link not idle after Reset: qlen=%d busy=%v", l2.QueueLen(), l2.Busy())
+	}
+	gotLog, gotStats := run(s2, l2, &pool2)
+
+	if len(gotLog) != len(wantLog) {
+		t.Fatalf("delivery count %d after reuse, want %d", len(gotLog), len(wantLog))
+	}
+	for i := range gotLog {
+		if gotLog[i] != wantLog[i] {
+			t.Fatalf("delivery %d differs: got %x want %x", i, gotLog[i], wantLog[i])
+		}
+	}
+	if gotStats != wantStats {
+		t.Fatalf("stats diverged after reuse:\ngot  %+v\nwant %+v", gotStats, wantStats)
+	}
+}
+
+// TestLinkResetRecyclesInFlight checks every packet alive at Reset time —
+// queued, in transmission, or propagating — is handed back exactly once.
+func TestLinkResetRecyclesInFlight(t *testing.T) {
+	s := sim.New()
+	var pool Pool
+	l := NewLink(s, "L0", 1e6, 50*sim.Millisecond, NewPriorityPushout(8))
+	l.OnDrop = func(_ sim.Time, p *Packet) { pool.Put(p) }
+	sink := &collectRecv{pool: &pool}
+	route := []Receiver{l, sink}
+	for i := 0; i < 30; i++ {
+		p := pool.Get()
+		p.Size = 1000
+		p.Route = route
+		p.Forward(0)
+	}
+	// Stop mid-flight: some packets queued, one in service, some in the pipe.
+	s.Run(10 * sim.Millisecond)
+	if l.QueueLen() == 0 || !l.Busy() {
+		t.Fatalf("test setup: want mid-flight state, qlen=%d busy=%v", l.QueueLen(), l.Busy())
+	}
+	recycled := 0
+	s.Reset()
+	l.Reset(1e6, 50*sim.Millisecond, func(p *Packet) { recycled++; pool.Put(p) })
+	live := int(pool.Allocated) - pool.FreeLen() + recycled + len(sink.got)
+	// Every allocated packet is now accounted for: recycled at Reset,
+	// delivered to the sink (then pooled), or dropped (then pooled).
+	if int(pool.Allocated) != pool.FreeLen() {
+		t.Fatalf("leaked packets: allocated %d, free %d (recycled %d, delivered %d, live %d)",
+			pool.Allocated, pool.FreeLen(), recycled, len(sink.got), live)
+	}
+	if recycled == 0 {
+		t.Fatal("expected in-flight packets to be recycled")
+	}
+}

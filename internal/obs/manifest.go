@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"time"
+
+	"eac/internal/cache"
 )
 
 // ManifestSchema versions the manifest layout for downstream tooling.
@@ -40,6 +42,10 @@ type Manifest struct {
 	// TraceDropped reports ring-buffer overwrites per seed, keyed by
 	// artifact path, when an event trace was collected.
 	TraceDropped map[string]int64 `json:"trace_dropped,omitempty"`
+	// Cache records result-cache traffic (directory plus hit/miss/
+	// corrupt/byte counters) when the invocation ran with a
+	// content-addressed result store attached.
+	Cache *cache.Snapshot `json:"cache,omitempty"`
 }
 
 // NewManifest returns a manifest stamped with the current process

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"eac/internal/admission"
+	"eac/internal/cache"
 	"eac/internal/mbac"
 	"eac/internal/obs"
 	"eac/internal/sim"
@@ -153,6 +154,16 @@ type Config struct {
 	// Each seed's run constructs its own collector from this value, so
 	// parallel seed runs stay independent.
 	Obs obs.Config
+
+	// Cache, if non-nil, is a content-addressed result store consulted by
+	// Run and Workspace.Run: a run whose Fingerprint (resolved config +
+	// seed + ResultsVersion) is already stored returns the cached Metrics
+	// without simulating, and a computed run is stored for next time.
+	// Corrupt or undecodable entries are dropped and recomputed silently.
+	// The field itself is excluded from the fingerprint, and it is ignored
+	// while Obs is active — a cached run cannot produce the observability
+	// artifacts the caller asked for.
+	Cache *cache.Store
 
 	// PrepopulateUtil, if positive, seeds the simulation at time zero
 	// with enough already-admitted flows to load link 0 to roughly this

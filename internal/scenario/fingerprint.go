@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// ResultsVersion salts every result fingerprint. Bump it whenever a change
+// anywhere in the simulator can alter the Metrics produced for an unchanged
+// Config+Seed — new RNG consumption order, different event tie-breaking,
+// changed estimator arithmetic, added Metrics fields, and so on. The golden
+// conformance figures are the backstop that catches a forgotten bump: any
+// change that moves them must come with a salt bump, or stale cache entries
+// would keep serving the old numbers.
+const ResultsVersion = "eac/results/v1"
+
+// Fingerprint returns the content address of this configuration's results:
+// a hex SHA-256 over ResultsVersion plus a canonical encoding of every
+// field of the fully-resolved (WithDefaults) config that the simulation
+// outcome depends on, including the seed.
+//
+// Deliberately excluded: Name (cosmetic label, not consulted by the run),
+// Obs (telemetry never feeds back into the dynamics — runs are
+// byte-identical with it on or off — and cached runs are skipped while it
+// is active anyway), and Cache itself. A traffic preset is identified by
+// its exported parameters plus its Name; the generator behaviour behind an
+// unexported build function is assumed 1:1 with the Name, so custom presets
+// must use distinct names. TestFingerprintCoversConfig pins the exact field
+// lists of every struct hashed here; adding a field to any of them fails
+// that test until this function and the salt are revisited.
+func (c Config) Fingerprint() string {
+	c = c.WithDefaults()
+	h := sha256.New()
+	w := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
+	w("v=%s\n", ResultsVersion)
+	w("seed=%d method=%d queue=%d\n", c.Seed, c.Method, c.Queue)
+	w("tau=%g life=%g vq=%g prepop=%g\n",
+		c.InterArrival, c.LifetimeSec, c.VQFactor, c.PrepopulateUtil)
+	w("dur=%d warm=%d drain=%d\n", int64(c.Duration), int64(c.Warmup), int64(c.Drain))
+	w("retries=%d backoff=%g\n", c.MaxRetries, c.RetryBackoffSec)
+	w("ac=%d/%d/%d eps=%g probe=%d stage=%d guard=%d\n",
+		c.AC.Design.Signal, c.AC.Design.Band, c.AC.Kind, c.AC.Eps,
+		int64(c.AC.ProbeDur), int64(c.AC.StageDur), int64(c.AC.Guard))
+	w("ms=%g/%g/%d\n", c.MS.Target, c.MS.SamplePeriod, c.MS.WindowPeriods)
+	w("pv=%g\n", c.PV.WindowSec)
+	w("classes=%d\n", len(c.Classes))
+	for _, cl := range c.Classes {
+		w("class=%q preset=%q/%g/%d/%d/%g w=%g eps=%g path=%v\n",
+			cl.Name, cl.Preset.Name, cl.Preset.TokenRate, cl.Preset.BucketBytes,
+			cl.Preset.PktSize, cl.Preset.AvgRate, cl.Weight, cl.Eps, cl.Path)
+	}
+	w("links=%d\n", len(c.Links))
+	for _, ls := range c.Links {
+		w("link=%g/%d/%d\n", ls.RateBps, int64(ls.Delay), ls.BufferPkts)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

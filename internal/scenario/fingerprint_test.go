@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"eac/internal/admission"
+	"eac/internal/cache"
+	"eac/internal/mbac"
+	"eac/internal/obs"
+	"eac/internal/sim"
+	"eac/internal/trafgen"
+)
+
+// TestFingerprintStable checks determinism and default-resolution
+// equivalence: a zero config and its explicit paper defaults hash the same.
+func TestFingerprintStable(t *testing.T) {
+	a := Config{}.Fingerprint()
+	if a != (Config{}).Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	explicit := Config{InterArrival: 3.5, LifetimeSec: 300, VQFactor: 0.9,
+		Duration: 14000 * sim.Second, Warmup: 2000 * sim.Second, Drain: 2 * sim.Second}
+	if explicit.Fingerprint() != a {
+		t.Fatal("explicit paper defaults fingerprint differently from the zero config")
+	}
+}
+
+// TestFingerprintExclusions: fields documented as results-neutral must not
+// move the fingerprint.
+func TestFingerprintExclusions(t *testing.T) {
+	base := Config{}.Fingerprint()
+	for name, c := range map[string]Config{
+		"Name":  {Name: "figure-1"},
+		"Obs":   {Obs: obs.Config{Enabled: true, Dir: "/tmp/x", Label: "l"}},
+		"Cache": {Cache: &cache.Store{}},
+	} {
+		if c.Fingerprint() != base {
+			t.Errorf("%s changed the fingerprint but is documented as excluded", name)
+		}
+	}
+}
+
+// TestFingerprintSensitivity: every results-affecting knob must move the
+// fingerprint, and all mutations must be pairwise distinct.
+func TestFingerprintSensitivity(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"Seed":            func(c *Config) { c.Seed = 7 },
+		"InterArrival":    func(c *Config) { c.InterArrival = 2.5 },
+		"LifetimeSec":     func(c *Config) { c.LifetimeSec = 100 },
+		"Method":          func(c *Config) { c.Method = MBAC },
+		"Queue":           func(c *Config) { c.Queue = QueueRED },
+		"VQFactor":        func(c *Config) { c.VQFactor = 0.8 },
+		"Duration":        func(c *Config) { c.Duration = 100 * sim.Second },
+		"Warmup":          func(c *Config) { c.Warmup = 100 * sim.Second },
+		"Drain":           func(c *Config) { c.Drain = 3 * sim.Second },
+		"MaxRetries":      func(c *Config) { c.MaxRetries = 2 },
+		"RetryBackoffSec": func(c *Config) { c.RetryBackoffSec = 7 },
+		"PrepopulateUtil": func(c *Config) { c.PrepopulateUtil = 0.5 },
+		"AC.Signal":       func(c *Config) { c.AC.Design.Signal = admission.Mark },
+		"AC.Band":         func(c *Config) { c.AC.Design.Band = admission.OutOfBand },
+		"AC.Kind":         func(c *Config) { c.AC.Kind = admission.EarlyReject },
+		"AC.Eps":          func(c *Config) { c.AC.Eps = 0.02 },
+		"AC.ProbeDur":     func(c *Config) { c.AC.ProbeDur = 3 * sim.Second },
+		"AC.StageDur":     func(c *Config) { c.AC.StageDur = 2 * sim.Second },
+		"AC.Guard":        func(c *Config) { c.AC.Guard = sim.Second },
+		"MS.Target":       func(c *Config) { c.MS.Target = 0.9 },
+		"MS.SamplePeriod": func(c *Config) { c.MS.SamplePeriod = 0.2 },
+		"MS.WindowPeriods": func(c *Config) {
+			c.MS.WindowPeriods = 5
+		},
+		"PV.WindowSec": func(c *Config) { c.PV.WindowSec = 10 },
+		"Class.Preset": func(c *Config) {
+			c.Classes = []ClassSpec{{Preset: trafgen.EXP2, Eps: -1}}
+		},
+		"Class.Weight": func(c *Config) {
+			c.Classes = []ClassSpec{{Preset: trafgen.EXP1, Weight: 2, Eps: -1}}
+		},
+		"Class.Eps": func(c *Config) {
+			c.Classes = []ClassSpec{{Preset: trafgen.EXP1, Eps: 0.05}}
+		},
+		"Class.Path+Links": func(c *Config) {
+			c.Links = []LinkSpec{{}, {}}
+			c.Classes = []ClassSpec{{Preset: trafgen.EXP1, Eps: -1, Path: []int{0, 1}}}
+		},
+		"Link.RateBps":    func(c *Config) { c.Links = []LinkSpec{{RateBps: 5e6}} },
+		"Link.Delay":      func(c *Config) { c.Links = []LinkSpec{{Delay: 5 * sim.Millisecond}} },
+		"Link.BufferPkts": func(c *Config) { c.Links = []LinkSpec{{BufferPkts: 100}} },
+	}
+	base := Config{}.Fingerprint()
+	seen := map[string]string{base: "base"}
+	for name, mutate := range mutations {
+		c := Config{}
+		mutate(&c)
+		fp := c.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("mutation %s collides with %s", name, prev)
+			continue
+		}
+		seen[fp] = name
+	}
+}
+
+// TestFingerprintCoversConfig pins the exact field set of every struct the
+// fingerprint hashes (or deliberately skips). Adding a field to any of
+// these types fails here until the author decides whether it affects
+// results — if it does, extend Config.Fingerprint and bump ResultsVersion;
+// if not, document the exclusion there — and then updates this list.
+func TestFingerprintCoversConfig(t *testing.T) {
+	want := map[reflect.Type][]string{
+		reflect.TypeOf(Config{}): {"Name", "Classes", "Links", "InterArrival",
+			"LifetimeSec", "Method", "AC", "MS", "PV", "Queue", "VQFactor",
+			"Duration", "Warmup", "Drain", "MaxRetries", "RetryBackoffSec",
+			"Obs", "Cache", "PrepopulateUtil", "Seed"},
+		reflect.TypeOf(ClassSpec{}):        {"Name", "Preset", "Weight", "Eps", "Path"},
+		reflect.TypeOf(LinkSpec{}):         {"RateBps", "Delay", "BufferPkts"},
+		reflect.TypeOf(PassiveConfig{}):    {"WindowSec"},
+		reflect.TypeOf(admission.Config{}): {"Design", "Kind", "Eps", "ProbeDur", "StageDur", "Guard"},
+		reflect.TypeOf(admission.Design{}): {"Signal", "Band"},
+		reflect.TypeOf(mbac.Config{}):      {"Target", "SamplePeriod", "WindowPeriods"},
+		reflect.TypeOf(trafgen.Preset{}):   {"Name", "TokenRate", "BucketBytes", "PktSize", "AvgRate", "build"},
+	}
+	for typ, fields := range want {
+		var got []string
+		for i := 0; i < typ.NumField(); i++ {
+			got = append(got, typ.Field(i).Name)
+		}
+		if !reflect.DeepEqual(got, fields) {
+			t.Errorf("%v fields changed:\n got %v\nwant %v\nIf the new field affects simulation results, extend Config.Fingerprint and bump ResultsVersion; otherwise document the exclusion in the Fingerprint doc comment. Then update this pin.", typ, got, fields)
+		}
+	}
+}

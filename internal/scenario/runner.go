@@ -15,16 +15,20 @@ import (
 	"eac/internal/trafgen"
 )
 
-// flowState tracks one offered flow through its lifecycle.
+// flowState tracks one offered flow through its lifecycle. The fields
+// listed in releaseFlows — route capacity, stop event, prober, and the two
+// per-flow closures — survive recycling; everything else is per-run.
 type flowState struct {
-	id       int
-	class    int
-	route    []netsim.Receiver
-	prober   *admission.Prober
-	src      trafgen.Source
-	stopEv   *sim.Event
-	counted  bool // decision falls inside the measurement window
-	attempts int  // completed admission attempts (for retries)
+	id        int
+	class     int
+	route     []netsim.Receiver
+	prober    *admission.Prober
+	probeDone func(admission.Result) // prober completion, captures this flowState
+	emitFn    trafgen.EmitFunc       // source emission hook, captures this flowState
+	src       trafgen.Source
+	stopEv    *sim.Event
+	counted   bool // decision falls inside the measurement window
+	attempts  int  // completed admission attempts (for retries)
 
 	dataSeq           int64
 	winSent, winRecv  int64 // emitted/arrived within the accounting window
@@ -49,8 +53,10 @@ type Runner struct {
 	rngSrc   *stats.RNG
 	rngRetry *stats.RNG
 
-	flows   []*flowState
-	classes []ClassMetrics
+	flows     []*flowState
+	freeFlows []*flowState // retired flow states awaiting reuse (reset path)
+	arrEv     *sim.Event   // the single pending flow-arrival event
+	classes   []ClassMetrics
 
 	winStart, winEnd sim.Time // packet accounting window
 	decided          int64
@@ -74,6 +80,11 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	return newRunner(cfg), nil
+}
+
+// newRunner assumes cfg is already resolved and valid.
+func newRunner(cfg Config) *Runner {
 	r := &Runner{
 		cfg:      cfg,
 		s:        sim.New(),
@@ -83,52 +94,15 @@ func NewRunner(cfg Config) (*Runner, error) {
 		rngSrc:   stats.NewStream(cfg.Seed, "sources"),
 		rngRetry: stats.NewStream(cfg.Seed, "retries"),
 	}
+	r.arrEv = sim.NewEvent(r.onFlowArrival)
 	r.winStart = cfg.Warmup
 	r.winEnd = cfg.Duration - cfg.Drain
 
-	maxPkt := 0
-	for _, cl := range cfg.Classes {
-		if cl.Preset.PktSize > maxPkt {
-			maxPkt = cl.Preset.PktSize
-		}
-	}
-
+	maxPkt := maxPktSize(cfg)
 	for i, ls := range cfg.Links {
-		var q netsim.Discipline
-		switch cfg.Queue {
-		case QueueRED:
-			q = netsim.NewRED(ls.BufferPkts, netsim.REDConfig{
-				MeanPktTime: sim.Time(float64(maxPkt*8) / ls.RateBps * float64(sim.Second)),
-			}, stats.NewStream(cfg.Seed, fmt.Sprintf("red-%d", i)))
-		default:
-			q = netsim.NewPriorityPushout(ls.BufferPkts)
-		}
-		l := netsim.NewLink(r.s, linkName(i), ls.RateBps, ls.Delay, q)
-		l.OnDrop = r.onLinkDrop
-		if cfg.Method == EAC {
-			switch cfg.AC.Design.Signal {
-			case admission.Mark:
-				l.Marker = netsim.NewVirtualQueue(cfg.VQFactor*ls.RateBps, int64(ls.BufferPkts*maxPkt))
-			case admission.VDrop:
-				l.Marker = netsim.NewVirtualQueue(cfg.VQFactor*ls.RateBps, int64(ls.BufferPkts*maxPkt))
-				l.VQDropProbes = true
-			}
-		}
+		l := netsim.NewLink(r.s, linkName(i), ls.RateBps, ls.Delay, r.newDiscipline(i, ls, maxPkt))
 		r.links = append(r.links, l)
-		switch cfg.Method {
-		case MBAC:
-			m := mbac.New(ls.RateBps, cfg.MS)
-			l.OnArrive = m.Tap()
-			r.ms = append(r.ms, m)
-		case Passive:
-			lm := newLossMonitor(cfg.PV.WindowSec)
-			l.OnArrive = func(now sim.Time, p *netsim.Packet) { lm.onArrive(now) }
-			l.OnDrop = func(now sim.Time, p *netsim.Packet) {
-				lm.onDrop(now)
-				r.onLinkDrop(now, p)
-			}
-			r.monitors = append(r.monitors, lm)
-		}
+		r.wireLink(i, maxPkt)
 	}
 	r.classes = make([]ClassMetrics, len(cfg.Classes))
 	for i := range r.classes {
@@ -137,7 +111,173 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.Obs.Active() {
 		r.Observe(obs.New(cfg.Obs, cfg.Seed))
 	}
-	return r, nil
+	return r
+}
+
+// maxPktSize returns the largest packet size across the offered classes.
+func maxPktSize(cfg Config) int {
+	maxPkt := 0
+	for _, cl := range cfg.Classes {
+		if cl.Preset.PktSize > maxPkt {
+			maxPkt = cl.Preset.PktSize
+		}
+	}
+	return maxPkt
+}
+
+// newDiscipline builds the queue discipline for link i per r.cfg.Queue.
+func (r *Runner) newDiscipline(i int, ls LinkSpec, maxPkt int) netsim.Discipline {
+	switch r.cfg.Queue {
+	case QueueRED:
+		return netsim.NewRED(ls.BufferPkts, netsim.REDConfig{
+			MeanPktTime: sim.Time(float64(maxPkt*8) / ls.RateBps * float64(sim.Second)),
+		}, stats.NewStream(r.cfg.Seed, fmt.Sprintf("red-%d", i)))
+	default:
+		return netsim.NewPriorityPushout(ls.BufferPkts)
+	}
+}
+
+// wireLink attaches link i's method-specific machinery — drop hook, marking
+// shadow queue, MBAC load tap, passive loss monitor — on a link whose hooks
+// are clear (just built, or just Reset). It appends to r.ms / r.monitors,
+// so the caller iterates links in order with both slices empty.
+func (r *Runner) wireLink(i, maxPkt int) {
+	cfg, ls, l := &r.cfg, r.cfg.Links[i], r.links[i]
+	l.OnDrop = r.onLinkDrop
+	if cfg.Method == EAC {
+		switch cfg.AC.Design.Signal {
+		case admission.Mark:
+			l.Marker = netsim.NewVirtualQueue(cfg.VQFactor*ls.RateBps, int64(ls.BufferPkts*maxPkt))
+		case admission.VDrop:
+			l.Marker = netsim.NewVirtualQueue(cfg.VQFactor*ls.RateBps, int64(ls.BufferPkts*maxPkt))
+			l.VQDropProbes = true
+		}
+	}
+	switch cfg.Method {
+	case MBAC:
+		m := mbac.New(ls.RateBps, cfg.MS)
+		l.OnArrive = m.Tap()
+		r.ms = append(r.ms, m)
+	case Passive:
+		lm := newLossMonitor(cfg.PV.WindowSec)
+		l.OnArrive = func(now sim.Time, p *netsim.Packet) { lm.onArrive(now) }
+		l.OnDrop = func(now sim.Time, p *netsim.Packet) {
+			lm.onDrop(now)
+			r.onLinkDrop(now, p)
+		}
+		r.monitors = append(r.monitors, lm)
+	}
+}
+
+// canReuse reports whether reset can adapt this runner to cfg. The link
+// slabs are positional, so only the topology size has to match; every
+// other parameter is rewritten by reset.
+func (r *Runner) canReuse(cfg Config) bool { return len(r.links) == len(cfg.Links) }
+
+// reset rewinds an already-run Runner into the state newRunner(cfg) would
+// produce, recycling the expensive allocations of the previous run: the
+// event-heap slab, the link pipe and queue rings, the packet pool's
+// freelist, retired flow states (with their route slices and stop events),
+// and the RNG stream structs. The recycled state is output-neutral —
+// Sim.Reset rewinds the FIFO tie-break counter, Pool.Put zeroes packets,
+// and ring/heap geometry is proven irrelevant by the byte-identity tests —
+// so a reused runner's Metrics are identical to a fresh runner's
+// (TestWorkspaceByteIdentical pins this). cfg must be resolved, valid, and
+// satisfy canReuse.
+func (r *Runner) reset(cfg Config) {
+	r.releaseFlows()
+	r.s.Reset()
+	r.cfg = cfg
+	r.rngArr.ReseedStream(cfg.Seed, "arrivals")
+	r.rngPick.ReseedStream(cfg.Seed, "classpick")
+	r.rngLife.ReseedStream(cfg.Seed, "lifetimes")
+	r.rngSrc.ReseedStream(cfg.Seed, "sources")
+	r.rngRetry.ReseedStream(cfg.Seed, "retries")
+	r.winStart = cfg.Warmup
+	r.winEnd = cfg.Duration - cfg.Drain
+	r.ms = r.ms[:0]
+	r.monitors = r.monitors[:0]
+
+	maxPkt := maxPktSize(cfg)
+	for i, ls := range cfg.Links {
+		l := r.links[i]
+		l.Reset(ls.RateBps, ls.Delay, r.pool.Put)
+		// The pushout discipline's band rings are worth keeping; RED holds
+		// a seeded RNG and run-scoped EWMA state, so it is rebuilt.
+		if pp, ok := l.Q.(*netsim.PriorityPushout); ok && cfg.Queue == QueuePushout {
+			pp.SetCap(ls.BufferPkts)
+		} else {
+			l.Q = r.newDiscipline(i, ls, maxPkt)
+		}
+		r.wireLink(i, maxPkt)
+	}
+
+	if cap(r.classes) >= len(cfg.Classes) {
+		r.classes = r.classes[:len(cfg.Classes)]
+	} else {
+		r.classes = make([]ClassMetrics, len(cfg.Classes))
+	}
+	for i := range r.classes {
+		r.classes[i] = ClassMetrics{Name: cfg.Classes[i].Name}
+	}
+
+	r.decided, r.retries = 0, 0
+	r.obs = nil
+	r.activeFlows, r.lastSample = 0, 0
+	r.delayStats = stats.Welford{}
+	r.delayHist = [1001]int64{}
+	if cfg.Obs.Active() {
+		r.Observe(obs.New(cfg.Obs, cfg.Seed))
+	}
+}
+
+// releaseFlows retires the previous run's flow states into the freelist,
+// keeping each one's route slice and stop event (whose closure captures
+// the flowState pointer, which stays valid across reuse). Must run before
+// Sim.Reset wipes the heap, which is what makes the blanket Forget calls
+// safe.
+func (r *Runner) releaseFlows() {
+	r.arrEv.Forget()
+	for _, f := range r.flows {
+		if f.prober != nil {
+			f.prober.ForgetEvents()
+		}
+		f.stopEv.Forget()
+		*f = flowState{
+			route:     f.route[:0],
+			stopEv:    f.stopEv,
+			prober:    f.prober,
+			probeDone: f.probeDone,
+			emitFn:    f.emitFn,
+		}
+		r.freeFlows = append(r.freeFlows, f)
+	}
+	r.flows = r.flows[:0]
+}
+
+// newFlow hands out the next flowState — recycled when the freelist has
+// one — registered under the next flow ID.
+func (r *Runner) newFlow(class int) *flowState {
+	var f *flowState
+	if n := len(r.freeFlows); n > 0 {
+		f = r.freeFlows[n-1]
+		r.freeFlows[n-1] = nil
+		r.freeFlows = r.freeFlows[:n-1]
+	} else {
+		f = &flowState{}
+		f.stopEv = sim.NewEvent(func(sim.Time) { r.stopFlow(f) })
+	}
+	f.id = len(r.flows)
+	f.class = class
+	r.flows = append(r.flows, f)
+	return f
+}
+
+// stopFlow ends a flow's data phase (its lifetime expired).
+func (r *Runner) stopFlow(f *flowState) {
+	f.src.Stop()
+	f.active = false
+	r.activeFlows--
 }
 
 // onLinkDrop is every link's drop hook: it books the loss against the
@@ -244,8 +384,7 @@ func (r *Runner) prepopulate() {
 	n := int(r.cfg.PrepopulateUtil*r.cfg.Links[0].RateBps/avg + 0.5)
 	for i := 0; i < n; i++ {
 		class := r.pickClass()
-		f := &flowState{id: len(r.flows), class: class}
-		r.flows = append(r.flows, f)
+		f := r.newFlow(class)
 		for _, li := range r.path(class) {
 			f.route = append(f.route, r.links[li])
 		}
@@ -264,7 +403,9 @@ func (r *Runner) scheduleNextArrival(now sim.Time) {
 	if at >= r.cfg.Duration {
 		return
 	}
-	r.s.Call(at, r.onFlowArrival)
+	// Only one arrival is ever pending (each firing schedules the next),
+	// so a single persistent event serves the whole run.
+	r.s.Schedule(r.arrEv, at)
 }
 
 // pickClass samples a class index by weight.
@@ -297,8 +438,7 @@ func (r *Runner) onFlowArrival(now sim.Time) {
 
 	class := r.pickClass()
 	cl := r.cfg.Classes[class]
-	f := &flowState{id: len(r.flows), class: class}
-	r.flows = append(r.flows, f)
+	f := r.newFlow(class)
 	// Route: the congested links of the class path, terminating at the
 	// shared sink (the runner itself).
 	for _, li := range r.path(class) {
@@ -337,14 +477,18 @@ func (r *Runner) onFlowArrival(now sim.Time) {
 }
 
 // startProbe launches (or relaunches, on retry) a flow's admission probe.
+// The completion closure and the prober itself are per-flowState, created
+// on first use and recycled with it; the closure reads only live state
+// (the runner, the flowState), so recycling cannot leak a previous run's
+// decisions.
 func (r *Runner) startProbe(now sim.Time, f *flowState) {
 	cl := r.cfg.Classes[f.class]
 	ac := r.cfg.AC
 	if cl.Eps >= 0 {
 		ac.Eps = cl.Eps
 	}
-	f.prober = admission.NewProber(r.s, ac, f.id, cl.Preset.TokenRate, cl.Preset.PktSize,
-		f.route, &r.pool, func(res admission.Result) {
+	if f.probeDone == nil {
+		f.probeDone = func(res admission.Result) {
 			at := r.s.Now()
 			f.attempts++
 			f.lastFrac = res.Fraction
@@ -364,7 +508,14 @@ func (r *Runner) startProbe(now sim.Time, f *flowState) {
 				}
 			}
 			r.recordDecision(at, f, false)
-		})
+		}
+	}
+	if f.prober == nil {
+		f.prober = admission.NewProber(r.s, ac, f.id, cl.Preset.TokenRate, cl.Preset.PktSize,
+			f.route, &r.pool, f.probeDone)
+	} else {
+		f.prober.Reinit(ac, f.id, cl.Preset.TokenRate, cl.Preset.PktSize, f.route, f.probeDone)
+	}
 	f.prober.Start(now)
 }
 
@@ -393,15 +544,14 @@ func (r *Runner) recordDecision(now sim.Time, f *flowState, accepted bool) {
 // startData begins the admitted flow's data phase and schedules its death.
 func (r *Runner) startData(now sim.Time, f *flowState) {
 	cl := r.cfg.Classes[f.class]
-	f.src = cl.Preset.New(r.s, r.rngSrc, func(at sim.Time, size int) { r.emitData(at, f, size) })
+	if f.emitFn == nil {
+		f.emitFn = func(at sim.Time, size int) { r.emitData(at, f, size) }
+	}
+	f.src = cl.Preset.New(r.s, r.rngSrc, f.emitFn)
 	f.src.Start(now)
 	r.activeFlows++
 	life := sim.Seconds(r.rngLife.Exp(r.cfg.LifetimeSec))
-	f.stopEv = r.s.Call(now+life, func(sim.Time) {
-		f.src.Stop()
-		f.active = false
-		r.activeFlows--
-	})
+	r.s.Schedule(f.stopEv, now+life)
 }
 
 func (r *Runner) emitData(now sim.Time, f *flowState, size int) {
@@ -518,16 +668,24 @@ func (r *Runner) delayPercentile(q float64) float64 {
 }
 
 // Run executes a single scenario run. With observability enabled
-// (Config.Obs) the run's artifacts are flushed before returning.
+// (Config.Obs) the run's artifacts are flushed before returning. With a
+// result cache attached (Config.Cache) the run is served from — and on a
+// miss, stored into — the cache.
 func Run(cfg Config) (Metrics, error) {
-	r, err := NewRunner(cfg)
-	if err != nil {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
 		return Metrics{}, err
 	}
-	m := r.Run()
+	key, m, ok := cacheGet(cfg)
+	if ok {
+		return m, nil
+	}
+	r := newRunner(cfg)
+	m = r.Run()
 	if _, err := r.FlushObs(); err != nil {
 		return m, err
 	}
+	cachePut(cfg, key, m)
 	return m, nil
 }
 
@@ -552,11 +710,12 @@ func RunSeedsParallel(cfg Config, seeds []uint64, workers int) (MultiMetrics, er
 		workers = len(seeds)
 	}
 	if workers <= 1 {
+		ws := NewWorkspace()
 		runs := make([]Metrics, 0, len(seeds))
 		for _, sd := range seeds {
 			c := cfg
 			c.Seed = sd
-			m, err := Run(c)
+			m, err := ws.Run(c)
 			if err != nil {
 				return MultiMetrics{}, err
 			}
@@ -573,6 +732,10 @@ func RunSeedsParallel(cfg Config, seeds []uint64, workers int) (MultiMetrics, er
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns a Workspace: consecutive seeds claimed by
+			// the same goroutine reuse one simulator's slabs, and nothing
+			// is shared across goroutines.
+			ws := NewWorkspace()
 			for {
 				i := int(next.Add(1))
 				if i >= len(seeds) {
@@ -580,7 +743,7 @@ func RunSeedsParallel(cfg Config, seeds []uint64, workers int) (MultiMetrics, er
 				}
 				c := cfg
 				c.Seed = seeds[i]
-				runs[i], errs[i] = Run(c)
+				runs[i], errs[i] = ws.Run(c)
 			}
 		}()
 	}

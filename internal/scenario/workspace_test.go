@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"eac/internal/admission"
+	"eac/internal/sim"
+	"eac/internal/trafgen"
+)
+
+// reuseCfg is a short congested scenario with real dynamics — drops,
+// probes, retries, flow deaths — so the byte-identity comparison exercises
+// every recycled structure.
+func reuseCfg(seed uint64) Config {
+	return Config{
+		Links:           []LinkSpec{{RateBps: 1e6, Delay: 10 * sim.Millisecond, BufferPkts: 20}},
+		InterArrival:    1,
+		LifetimeSec:     20,
+		Duration:        50 * sim.Second,
+		Warmup:          10 * sim.Second,
+		MaxRetries:      2,
+		PrepopulateUtil: 0.8,
+		Seed:            seed,
+	}
+}
+
+// reuseSequence is a heterogeneous run sequence: repeated seeds on one
+// shape (exercising reset), then method/queue/topology changes (exercising
+// rewiring and, for the topology change, full rebuild).
+func reuseSequence() []Config {
+	seq := []Config{
+		reuseCfg(1), reuseCfg(2), reuseCfg(3),
+	}
+	mark := reuseCfg(4)
+	mark.AC.Design = admission.Design{Signal: admission.Mark, Band: admission.OutOfBand}
+	seq = append(seq, mark)
+	mb := reuseCfg(5)
+	mb.Method = MBAC
+	seq = append(seq, mb)
+	pv := reuseCfg(6)
+	pv.Method = Passive
+	seq = append(seq, pv)
+	red := reuseCfg(7)
+	red.Queue = QueueRED
+	seq = append(seq, red)
+	multi := reuseCfg(8)
+	multi.Links = []LinkSpec{
+		{RateBps: 1e6, Delay: 5 * sim.Millisecond, BufferPkts: 20},
+		{RateBps: 1e6, Delay: 5 * sim.Millisecond, BufferPkts: 20},
+	}
+	multi.Classes = []ClassSpec{{Preset: trafgen.EXP1, Eps: -1, Path: []int{0, 1}}}
+	seq = append(seq, multi)
+	// Back to the first shape: the multi-link runner cannot be reused, so
+	// this also covers rebuild-then-reuse.
+	seq = append(seq, reuseCfg(9), reuseCfg(1))
+	return seq
+}
+
+// TestWorkspaceByteIdentical pins the tentpole's correctness claim: a
+// Workspace running an arbitrary config sequence returns Metrics deeply
+// equal to fresh per-run construction, including a repeated config at the
+// end (recycled state carries nothing across runs).
+func TestWorkspaceByteIdentical(t *testing.T) {
+	ws := NewWorkspace()
+	for i, cfg := range reuseSequence() {
+		fresh, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("run %d: fresh: %v", i, err)
+		}
+		reused, err := ws.Run(cfg)
+		if err != nil {
+			t.Fatalf("run %d: workspace: %v", i, err)
+		}
+		if !reflect.DeepEqual(fresh, reused) {
+			t.Fatalf("run %d (%s seed %d): workspace metrics diverge from fresh run\nfresh:  %+v\nreused: %+v",
+				i, cfg.Method, cfg.Seed, fresh, reused)
+		}
+	}
+}
+
+// TestWorkspaceSeedsParallelIdentical checks the grid entry point: the
+// per-worker workspaces of RunSeedsParallel must not change the aggregate,
+// for any worker count.
+func TestWorkspaceSeedsParallelIdentical(t *testing.T) {
+	cfg := reuseCfg(0)
+	seeds := DefaultSeeds(5)
+	base, err := RunSeedsParallel(cfg, seeds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5} {
+		got, err := RunSeedsParallel(cfg, seeds, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d aggregate differs from sequential", workers)
+		}
+	}
+}
+
+// TestWorkspaceAllocReduction is the regression guard on the perf half of
+// the tentpole: the reused-worker path must allocate at most 70% of what
+// per-run construction allocates for the same cells (ISSUE criterion:
+// >= 30% cut in allocs/cell).
+func TestWorkspaceAllocReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement runs several simulations")
+	}
+	seeds := DefaultSeeds(3)
+	var i int
+	fresh := testing.AllocsPerRun(3, func() {
+		c := reuseCfg(seeds[i%len(seeds)])
+		i++
+		if _, err := Run(c); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ws := NewWorkspace()
+	for _, sd := range seeds { // prime the slabs and the flow freelist
+		if _, err := ws.Run(reuseCfg(sd)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i = 0
+	reused := testing.AllocsPerRun(3, func() {
+		c := reuseCfg(seeds[i%len(seeds)])
+		i++
+		if _, err := ws.Run(c); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs/cell: fresh %.0f, reused %.0f (%.0f%%)", fresh, reused, 100*reused/fresh)
+	if reused > 0.7*fresh {
+		t.Fatalf("reused-worker path allocates %.0f/run vs %.0f fresh (%.0f%%), want <= 70%%",
+			reused, fresh, 100*reused/fresh)
+	}
+}

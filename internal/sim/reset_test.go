@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestResetReplayIdentical pins the run-state reuse contract: after Reset,
+// replaying the same workload on the same Sim dispatches the exact same
+// (time, label) sequence a fresh Sim produces — including FIFO tie-breaks,
+// which depend on the sequence counter being rewound.
+func TestResetReplayIdentical(t *testing.T) {
+	workload := func(s *Sim) []Time {
+		var fired []Time
+		// Two self-rescheduling events that collide on shared timestamps,
+		// plus a cancelled one to leave tombstones behind.
+		var a, b *Event
+		a = NewEvent(func(now Time) {
+			fired = append(fired, now)
+			if now < 40 {
+				s.Schedule(a, now+4)
+			}
+		})
+		b = NewEvent(func(now Time) {
+			fired = append(fired, now+1000) // tag b's firings
+			if now < 40 {
+				s.Schedule(b, now+8)
+			}
+		})
+		c := NewEvent(func(now Time) { t.Fatal("cancelled event fired") })
+		s.Schedule(a, 4)
+		s.Schedule(b, 8)
+		s.Schedule(c, 12)
+		s.Cancel(c)
+		s.Run(100)
+		return fired
+	}
+
+	fresh := workload(New())
+
+	s := New()
+	first := workload(s)
+	if s.Now() != 100 {
+		t.Fatalf("clock = %v before Reset", s.Now())
+	}
+	s.Reset()
+	if s.Now() != 0 || s.Len() != 0 || s.Executed() != 0 {
+		t.Fatalf("Reset left now=%v len=%d executed=%d", s.Now(), s.Len(), s.Executed())
+	}
+	replay := workload(s)
+
+	if !reflect.DeepEqual(first, fresh) {
+		t.Fatalf("first run differs from fresh baseline")
+	}
+	if !reflect.DeepEqual(replay, fresh) {
+		t.Fatalf("replay after Reset diverged:\nfresh:  %v\nreplay: %v", fresh, replay)
+	}
+}
+
+// TestResetRetainsHeapCapacity checks Reset keeps the grown backing array
+// (the point of reusing the simulator between grid cells).
+func TestResetRetainsHeapCapacity(t *testing.T) {
+	old := HeapInitCap
+	HeapInitCap = 1
+	defer func() { HeapInitCap = old }()
+	s := New()
+	for i := 0; i < 1000; i++ {
+		s.Schedule(NewEvent(func(Time) {}), Time(i))
+	}
+	grown := cap(s.heap)
+	if grown < 1000 {
+		t.Fatalf("heap did not grow: cap %d", grown)
+	}
+	s.Reset()
+	if cap(s.heap) != grown {
+		t.Fatalf("Reset dropped the heap slab: cap %d, want %d", cap(s.heap), grown)
+	}
+	// No stale Event pointers survive (collectability).
+	full := s.heap[:cap(s.heap)]
+	for i, ent := range full {
+		if ent.e != nil {
+			t.Fatalf("heap slot %d retains an event pointer after Reset", i)
+		}
+	}
+}
+
+// TestForgetAllowsRescheduleAfterReset covers the documented Forget use:
+// an event pending at Reset time is reusable after Forget.
+func TestForgetAllowsRescheduleAfterReset(t *testing.T) {
+	s := New()
+	fired := 0
+	e := NewEvent(func(Time) { fired++ })
+	s.Schedule(e, 50)
+	s.Run(10) // e still pending
+	s.Reset()
+	if !e.Pending() {
+		t.Fatal("test setup: event should report stale pending")
+	}
+	e.Forget()
+	s.Schedule(e, 5)
+	s.Run(10)
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+}

@@ -61,6 +61,15 @@ func NewEvent(fn func(now Time)) *Event {
 // Pending reports whether the event is currently scheduled.
 func (e *Event) Pending() bool { return e.pending }
 
+// Forget clears the event's pending flag without touching any simulator.
+// It exists for one situation only: an event that was still scheduled when
+// its owning Sim was Reset (the heap was wiped wholesale, so the event's
+// slot is gone but its flag is stale). Components that keep events across
+// Sim.Reset — the run-state reuse path in scenario — call Forget before
+// rescheduling them. Calling it on an event whose Sim was NOT reset
+// desynchronizes the heap's live-entry accounting; use Cancel there.
+func (e *Event) Forget() { e.pending = false }
+
 // When returns the time the event is scheduled for. Only meaningful while
 // Pending.
 func (e *Event) When() Time { return e.when }
@@ -116,6 +125,21 @@ func New() *Sim {
 
 // Now returns the current simulation time.
 func (s *Sim) Now() Time { return s.now }
+
+// Reset returns the simulator to an empty queue at time zero, retaining
+// the heap's backing array so a subsequent run of similar event density
+// performs no heap growth at all. The sequence counter is also reset, so
+// a replayed workload observes identical FIFO tie-breaking and therefore
+// identical dispatch order (the per-worker run-state reuse path depends
+// on this). Events that were still pending are NOT notified: their slots
+// vanish with the heap, and an owner that reuses such an event across
+// Reset must call Event.Forget before rescheduling it.
+func (s *Sim) Reset() {
+	clear(s.heap) // drop Event pointers so dead runs are collectable
+	s.heap = s.heap[:0]
+	s.now, s.seq, s.nLive, s.nDead, s.nRun = 0, 0, 0, 0, 0
+	s.hole, s.halted = false, false
+}
 
 // Executed returns the number of events executed so far.
 func (s *Sim) Executed() uint64 { return s.nRun }

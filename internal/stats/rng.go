@@ -58,6 +58,25 @@ func NewStream(seed uint64, label string) *RNG {
 	return NewRNG(splitmix64(&x))
 }
 
+// Reseed resets the generator to the exact state NewRNG(seed) produces,
+// letting run-state reuse paths recycle RNG structs without allocating.
+func (r *RNG) Reseed(seed uint64) {
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+}
+
+// ReseedStream resets the generator to the exact state NewStream(seed,
+// label) produces.
+func (r *RNG) ReseedStream(seed uint64, label string) {
+	x := seed ^ hashLabel(label)
+	r.Reseed(splitmix64(&x))
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 pseudo-random bits.

@@ -49,6 +49,27 @@ func (c *CBR) SetRate(rateBps float64) {
 	c.iv = sim.Time(float64(c.pktSize*8) / rateBps * float64(sim.Second))
 }
 
+// Reinit re-parameterizes an idle CBR for another use, keeping its event
+// and emit callback (the run-state reuse path recycles prober sources this
+// way instead of allocating a CBR per admission attempt).
+func (c *CBR) Reinit(rateBps float64, pktSize int) {
+	if rateBps <= 0 || pktSize <= 0 {
+		panic("trafgen: CBR.Reinit requires positive rate and packet size")
+	}
+	if c.active {
+		panic("trafgen: CBR.Reinit while active")
+	}
+	c.pktSize = pktSize
+	c.SetRate(rateBps)
+}
+
+// Forget clears the source's running state without touching any simulator.
+// Valid only across a Sim.Reset (see sim.Event.Forget); use Stop otherwise.
+func (c *CBR) Forget() {
+	c.active = false
+	c.ev.Forget()
+}
+
 func (c *CBR) interval() sim.Time { return c.iv }
 
 // Start implements Source. The first packet is emitted immediately.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"eac"
+	"eac/internal/benchindex"
 )
 
 // BenchmarkObsOverhead quantifies the observability layer's cost on a
@@ -82,6 +83,17 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 	defer f.Close()
 	if _, err := f.Write(append(line, '\n')); err != nil {
+		b.Fatal(err)
+	}
+	date := rec["date"].(string)
+	var idx []benchindex.Record
+	for _, name := range []string{"constructed-disabled", "enabled"} {
+		idx = append(idx, benchindex.Record{
+			Name: "BenchmarkObsOverhead/" + name, Date: date, Metric: "ns_per_run",
+			Value: float64(nsPerOp[name]), Unit: "ns", Baseline: float64(nsPerOp["disabled"]),
+		})
+	}
+	if err := benchindex.Append("results/BENCH_index.json", idx...); err != nil {
 		b.Fatal(err)
 	}
 }
