@@ -1,0 +1,159 @@
+// Sharded-executor macro-benchmark: serial vs 2/4/8 shards on the
+// MetroStar large-topology preset (8 chains x 3 hops, 10^4 concurrent
+// hosts at the default sizing).
+//
+// Each iteration is ONE complete single-seed run of the same scenario, so
+// ns/op is single-run wall clock under each execution plan. Alongside
+// wall clock the benchmark records each plan's per-shard executed-event
+// counts, from which it derives the load-balance speedup bound
+// total/max(shard) — the speedup a perfectly parallel barrier would reach
+// on enough cores. On a multi-core host the wall-clock ratio is the
+// headline; on a single-core host (like the container this repo's pinned
+// numbers come from) only the bound is meaningful, and the wall-clock
+// column honestly shows the windowed executor's overhead instead.
+//
+// Run via `make bench-shard`, which rewrites results/BENCH_shard.json and
+// appends headline records to results/BENCH_index.json:
+//
+//	go test -run '^$' -bench BenchmarkShard -benchtime 3x -timeout 30m .
+//
+// In -short mode the topology and simulated duration shrink ~10x so CI
+// can smoke the harness (including the cross-shard hand-off under every
+// shard count) without paying full runs.
+package eac_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"eac"
+	"eac/internal/benchindex"
+)
+
+// shardBenchConfig is the MetroStar preset trimmed to a benchmarkable
+// simulated duration. The host population stays at the preset's default
+// 10^4 (short mode: 10^3) so the per-window event volume is the large-
+// scenario regime the sharded executor targets.
+func shardBenchConfig(short bool) eac.Config {
+	opts := eac.MetroStarOptions{}
+	dur, warm := 6*eac.Second, 2*eac.Second
+	if short {
+		opts.Hosts = 1000
+		dur, warm = 3*eac.Second, 1*eac.Second
+	}
+	cfg := eac.MetroStar(opts)
+	cfg.Drain = eac.Second
+	cfg.Method = eac.EAC
+	cfg.AC = eac.ACConfig{Design: eac.DropInBand, Kind: eac.SlowStart, Eps: 0.01}
+	cfg.Duration = dur
+	cfg.Warmup = warm
+	cfg.Seed = 1
+	return cfg
+}
+
+// BenchmarkShard runs the same MetroStar scenario under the serial plan
+// and under 2/4/8 shards and, at full scale, rewrites
+// results/BENCH_shard.json.
+func BenchmarkShard(b *testing.B) {
+	cfg := shardBenchConfig(testing.Short())
+	shardCounts := []int{1, 2, 4, 8}
+	type plan struct {
+		WallNs       int64    `json:"wall_ns_per_run"`
+		Events       uint64   `json:"events_total"`
+		EventsPerSec float64  `json:"events_per_wall_second"`
+		PerShard     []uint64 `json:"events_per_shard,omitempty"`
+		Bound        float64  `json:"load_balance_speedup_bound"`
+	}
+	plans := map[int]*plan{}
+	for _, k := range shardCounts {
+		k := k
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			c := cfg
+			c.Shards = k
+			ws := eac.NewWorkspace()
+			var executed []uint64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ws.Run(c); err != nil {
+					b.Fatal(err)
+				}
+				executed = ws.ShardExecuted()
+			}
+			wall := b.Elapsed().Nanoseconds() / int64(b.N)
+			p := &plan{WallNs: wall, PerShard: executed}
+			var max uint64
+			for _, e := range executed {
+				p.Events += e
+				if e > max {
+					max = e
+				}
+			}
+			if max > 0 {
+				p.Bound = float64(p.Events) / float64(max)
+			}
+			if wall > 0 {
+				p.EventsPerSec = float64(p.Events) / (float64(wall) / 1e9)
+			}
+			plans[k] = p
+		})
+	}
+	if len(plans) < len(shardCounts) || testing.Short() {
+		return // filtered sub-benchmark or shrunk workload: nothing comparable
+	}
+	serial := plans[1]
+	speedup := map[string]float64{}
+	for _, k := range shardCounts[1:] {
+		speedup[fmt.Sprintf("%d", k)] = float64(serial.WallNs) / float64(plans[k].WallNs)
+	}
+	rec := map[string]any{
+		"benchmark": "BenchmarkShard (go test -run '^$' -bench BenchmarkShard -benchtime 3x)",
+		"date":      time.Now().UTC().Format(time.RFC3339),
+		"machine": map[string]any{
+			"cores":      runtime.NumCPU(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"note": "Single-core container: wall-clock parallel speedup cannot manifest here " +
+				"(same caveat as BENCH_parallel.json), so measured_wall_clock_speedup reflects the " +
+				"windowed executor's overhead at 1 core, not its parallel value. The attainable " +
+				"speedup on >=K cores is bounded by load_balance_speedup_bound = total events / " +
+				"max per-shard events, recorded per plan below from the actual per-shard executed-" +
+				"event counts of this workload; the conservative window (min boundary propagation " +
+				"delay, 2 ms on this topology vs ~us event spacing at 10^4 hosts) keeps barriers " +
+				"rare relative to useful work. Re-measure on a multi-core host for real wall-clock " +
+				"ratios.",
+		},
+		"workload": fmt.Sprintf(
+			"MetroStar 8 chains x 3 hops, 10000 concurrent hosts (EXP1), EAC slow-start in-band drop, %.0f s simulated, seed 1",
+			cfg.Duration.Sec()),
+		"plans":                       plans,
+		"measured_wall_clock_speedup": speedup,
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("results/BENCH_shard.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	date := rec["date"].(string)
+	var idx []benchindex.Record
+	for _, k := range shardCounts {
+		idx = append(idx, benchindex.Record{
+			Name: fmt.Sprintf("BenchmarkShard/shards=%d", k), Date: date, Metric: "ns_per_run",
+			Value: float64(plans[k].WallNs), Unit: "ns", Baseline: float64(serial.WallNs),
+		})
+	}
+	idx = append(idx, benchindex.Record{
+		Name: "BenchmarkShard/shards=4", Date: date, Metric: "load_balance_speedup_bound",
+		Value: plans[4].Bound, Unit: "x",
+	})
+	if err := benchindex.Append("results/BENCH_index.json", idx...); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -75,6 +75,13 @@ func main() {
 		prepop   = flag.Float64("prepopulate", 0, "seed stationary flows to this utilization (0 = off)")
 		seeds    = flag.Int("seeds", 1, "number of seeds to average")
 		workers  = flag.Int("workers", 0, "parallel seed runs (0 = one per core); results are identical for any value")
+
+		// Topology (see README "Sharded runs and the MetroStar preset").
+		topology = flag.String("topology", "basic", "basic (one congested link) or metro-star (the large star-of-chains preset; -source/-tau/-life/-link/-prepopulate are derived from -hosts and ignored)")
+		chains   = flag.Int("chains", 0, "metro-star: access chains off the hub (0 = preset default 8)")
+		hops     = flag.Int("hops", 0, "metro-star: links per chain (0 = preset default 3)")
+		hosts    = flag.Int("hosts", 0, "metro-star: target concurrent host population (0 = preset default 10000)")
+		shrds    = flag.Int("shards", 1, "shard the simulation across up to this many domains (conservative parallel DES; 0 = one per core). Clamped to what the topology and method support; sharded runs are statistically equivalent, not byte-identical, to serial ones")
 		probeDur = flag.Float64("probe", 5, "total probe duration, seconds")
 		useRED   = flag.Bool("red", false, "use a RED queue instead of drop-tail (in-band designs only)")
 		retries  = flag.Int("retries", 0, "max admission retries with exponential back-off")
@@ -96,20 +103,30 @@ func main() {
 		go func() { log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil)) }()
 	}
 
-	preset, err := trafgen.Lookup(*source)
-	if err != nil {
-		log.Fatal(err)
+	var cfg scenario.Config
+	switch *topology {
+	case "basic":
+		preset, err := trafgen.Lookup(*source)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg = scenario.Config{
+			Classes:         []scenario.ClassSpec{{Preset: preset, Weight: 1, Eps: -1}},
+			Links:           []scenario.LinkSpec{{RateBps: *linkBps}},
+			InterArrival:    *tau,
+			LifetimeSec:     *life,
+			PrepopulateUtil: *prepop,
+		}
+	case "metro-star":
+		cfg = scenario.MetroStar(scenario.MetroStarOptions{
+			Chains: *chains, Hops: *hops, Hosts: *hosts,
+		})
+	default:
+		log.Fatalf("unknown topology %q (basic, metro-star)", *topology)
 	}
-	cfg := scenario.Config{
-		Classes:         []scenario.ClassSpec{{Preset: preset, Weight: 1, Eps: -1}},
-		Links:           []scenario.LinkSpec{{RateBps: *linkBps}},
-		InterArrival:    *tau,
-		LifetimeSec:     *life,
-		Duration:        sim.Seconds(*duration),
-		Warmup:          sim.Seconds(*warmup),
-		PrepopulateUtil: *prepop,
-		MaxRetries:      *retries,
-	}
+	cfg.Duration = sim.Seconds(*duration)
+	cfg.Warmup = sim.Seconds(*warmup)
+	cfg.MaxRetries = *retries
 	if *useRED {
 		cfg.Queue = scenario.QueueRED
 	}
@@ -170,6 +187,18 @@ func main() {
 		}
 	}
 
+	switch {
+	case *shrds < 0:
+		log.Fatalf("-shards must be >= 0, got %d", *shrds)
+	case *shrds == 0:
+		cfg.Shards = scenario.AutoShards(cfg)
+	default:
+		cfg.Shards = scenario.ShardableK(cfg, *shrds)
+	}
+	if *shrds != 1 && cfg.Shards == 1 {
+		log.Print("sharding: resolved to the serial path (single core with -shards 0, unshardable topology or method, or observability active)")
+	}
+
 	seedVals := scenario.DefaultSeeds(*seeds)
 	start := time.Now()
 	mm, err := scenario.RunSeedsParallel(cfg, seedVals, *workers)
@@ -195,6 +224,7 @@ func main() {
 			"prepopulate": *prepop, "probe_s": *probeDur,
 			"red": *useRED, "retries": *retries,
 			"metrics_interval_s": *mInterval, "trace_cap": *traceCap,
+			"topology": *topology, "shards": cfg.Shards,
 		}
 		man.Summary = map[string]any{
 			"utilization": m.Utilization, "util_stderr": mm.UtilStderr,
@@ -218,8 +248,16 @@ func main() {
 		log.Printf("observability: wrote %s and %d artifact(s) under %s",
 			cfg.Obs.ManifestPath(), len(man.Artifacts), *obsDir)
 	}
-	fmt.Printf("scenario : %s %s tau=%.2gs link=%.3gMb/s duration=%.0fs x %d seed(s)\n",
-		*method, *source, *tau, *linkBps/1e6, *duration, *seeds)
+	if *topology == "metro-star" {
+		fmt.Printf("scenario : %s %s duration=%.0fs x %d seed(s)\n",
+			*method, cfg.Name, *duration, *seeds)
+	} else {
+		fmt.Printf("scenario : %s %s tau=%.2gs link=%.3gMb/s duration=%.0fs x %d seed(s)\n",
+			*method, *source, *tau, *linkBps/1e6, *duration, *seeds)
+	}
+	if cfg.Shards > 1 {
+		fmt.Printf("shards   : %d (conservative windowed parallel DES; statistically equivalent to serial)\n", cfg.Shards)
+	}
 	if cfg.Method == scenario.EAC {
 		fmt.Printf("design   : %s, %s probing, eps=%.3g\n", cfg.AC.Design, cfg.AC.Kind, *eps)
 	}

@@ -39,6 +39,7 @@ func main() {
 		duration = flag.Float64("duration", 0, "override run length, seconds")
 		warmup   = flag.Float64("warmup", 0, "override warm-up, seconds")
 		workers  = flag.Int("workers", 0, "parallel simulator runs (0 = one per core); results are identical for any value")
+		shards   = flag.Int("shards", 1, "shard each simulation across up to this many domains (conservative parallel DES; 0 = one per core). Unshardable points run serially; sharded output is statistically equivalent, not byte-identical — leave at 1 to reproduce published CSVs")
 		outDir   = flag.String("out", "results", "directory for CSV output (empty = no files)")
 		verbose  = flag.Bool("v", false, "log every completed run")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
@@ -94,6 +95,12 @@ func main() {
 	opts.Duration = sim.Seconds(*duration)
 	opts.Warmup = sim.Seconds(*warmup)
 	opts.Workers = *workers
+	opts.Shards = *shards
+	if *shards == 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	} else if *shards < 0 {
+		log.Fatalf("-shards must be >= 0, got %d", *shards)
+	}
 	opts.Cache = store
 	if *verbose {
 		opts.Progress = func(format string, args ...any) { log.Printf(format, args...) }

@@ -9,6 +9,7 @@
 package benchindex
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -31,7 +32,11 @@ type Record struct {
 	Baseline float64 `json:"baseline,omitempty"`
 }
 
-// Read loads the index at path. A missing file is an empty index.
+// Read loads the index at path. The index is incremental by design: a
+// fresh clone regenerates it one `make bench-*` target at a time, so a
+// missing file, an empty file (an interrupted first write), or an index
+// holding only some of the repo's benchmark series are all ordinary
+// states, not errors. Only actual malformed JSON is rejected.
 func Read(path string) ([]Record, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -40,11 +45,39 @@ func Read(path string) ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, nil
+	}
 	var recs []Record
 	if err := json.Unmarshal(data, &recs); err != nil {
 		return nil, fmt.Errorf("benchindex: %s: %w", path, err)
 	}
 	return recs, nil
+}
+
+// Series returns the records of one benchmark series (matched by Name)
+// in insertion order. A series the index has never seen yields nil —
+// callers summarizing the index must treat absent series as "not yet
+// measured on this clone", not as corruption.
+func Series(recs []Record, name string) []Record {
+	var out []Record
+	for _, r := range recs {
+		if r.Name == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Latest returns the most recently appended record of a series, with
+// ok=false when the series is absent from the index.
+func Latest(recs []Record, name string) (r Record, ok bool) {
+	for _, c := range recs {
+		if c.Name == name {
+			r, ok = c, true
+		}
+	}
+	return r, ok
 }
 
 // Append adds records to the index at path, creating it (and its

@@ -35,6 +35,45 @@ func TestAppendAccumulates(t *testing.T) {
 	}
 }
 
+// TestPartialSeries: the index is regenerated incrementally, so an empty
+// file and an index holding only some benchmark series must both read
+// cleanly, with absent series reported as "not measured" rather than
+// erroring.
+func TestPartialSeries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_index.json")
+	if err := os.WriteFile(path, []byte("\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(path)
+	if err != nil || recs != nil {
+		t.Fatalf("Read(empty) = %v, %v, want empty index", recs, err)
+	}
+
+	a := Record{Name: "BenchmarkShard/4", Date: "2026-08-09T00:00:00Z",
+		Metric: "ns_per_run", Value: 1e9, Unit: "ns"}
+	b := Record{Name: "BenchmarkShard/4", Date: "2026-08-10T00:00:00Z",
+		Metric: "ns_per_run", Value: 9e8, Unit: "ns"}
+	if err := Append(path, a, b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Series(recs, "BenchmarkShard/4"); !reflect.DeepEqual(got, []Record{a, b}) {
+		t.Fatalf("Series = %+v", got)
+	}
+	if got := Series(recs, "BenchmarkHotPath/congested"); got != nil {
+		t.Fatalf("Series(absent) = %+v, want nil", got)
+	}
+	if r, ok := Latest(recs, "BenchmarkShard/4"); !ok || r != b {
+		t.Fatalf("Latest = %+v, %v", r, ok)
+	}
+	if _, ok := Latest(recs, "BenchmarkGrid/warm"); ok {
+		t.Fatal("Latest(absent) reported ok")
+	}
+}
+
 func TestReadRejectsGarbage(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_index.json")
 	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {

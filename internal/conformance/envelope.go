@@ -1,0 +1,109 @@
+package conformance
+
+import (
+	"fmt"
+	"strings"
+
+	"eac/internal/scenario"
+)
+
+// Envelope bounds the acceptable statistical divergence between two
+// executions of the same scenario under different execution plans —
+// concretely, the serial path versus the sharded conservative-parallel
+// path of internal/scenario. A sharded run is *not* expected to be
+// bitwise identical to the serial run (arrival processes are thinned
+// into per-shard Poisson streams with their own RNG labels), but it
+// simulates the same stochastic system, so for a fixed scenario the
+// seed-averaged metrics must agree within sampling noise.
+//
+// All bounds on probability-like quantities (utilization, loss,
+// blocking, probe share) are absolute: the quantities live in [0, 1]
+// and a relative bound near zero would be vacuous (same policy as
+// CrossBounds). Delay uses a relative bound because its scale is set by
+// the topology's propagation delays, which both plans share exactly.
+// Like the cross-validation envelopes, the numbers are calibrated, not
+// derived: they come from observed serial-vs-sharded deltas at the
+// conformance scale plus headroom, and sit far below the gap any
+// behavioural bug produces (see envelope_test.go for the calibration
+// notes per scenario).
+type Envelope struct {
+	UtilAbs  float64 // |serial util − sharded util|
+	LossAbs  float64 // |serial loss prob − sharded loss prob|
+	BlockAbs float64 // |serial blocking − sharded blocking|
+	DelayRel float64 // |serial mean delay − sharded| / serial mean delay
+}
+
+// EnvelopeResult holds both execution plans' seed-averaged answers for
+// one scenario.
+type EnvelopeResult struct {
+	Name    string
+	Shards  int // effective shard count of the sharded plan
+	Serial  scenario.Metrics
+	Sharded scenario.Metrics
+}
+
+// ShardEnvelope runs cfg under the serial plan and under a k-shard plan
+// over the same seed set and returns the paired seed-averaged metrics.
+// The shard count is resolved through scenario.ShardableK, so a
+// topology that cannot shard (single link, incompatible method) simply
+// compares the serial plan against itself — which keeps one envelope
+// harness valid across every golden scenario.
+func ShardEnvelope(cfg scenario.Config, k int, seeds []uint64) (EnvelopeResult, error) {
+	serial := cfg
+	serial.Shards = 1
+	sm, err := scenario.RunSeeds(serial, seeds)
+	if err != nil {
+		return EnvelopeResult{}, fmt.Errorf("serial plan: %w", err)
+	}
+	sharded := cfg
+	sharded.Shards = scenario.ShardableK(cfg, k)
+	pm, err := scenario.RunSeeds(sharded, seeds)
+	if err != nil {
+		return EnvelopeResult{}, fmt.Errorf("sharded plan: %w", err)
+	}
+	return EnvelopeResult{
+		Name:    cfg.Name,
+		Shards:  sharded.Shards,
+		Serial:  sm.Mean,
+		Sharded: pm.Mean,
+	}, nil
+}
+
+// Check compares the two plans within the envelope. On failure the error
+// carries the full side-by-side report, so the divergence is readable
+// without rerunning anything.
+func (r EnvelopeResult) Check(e Envelope) error {
+	var bad []string
+	exceed := func(name string, d, bound float64) {
+		if d > bound {
+			bad = append(bad, fmt.Sprintf("%s differs by %.4f (bound %.4f)", name, d, bound))
+		}
+	}
+	exceed("utilization", absf(r.Serial.Utilization-r.Sharded.Utilization), e.UtilAbs)
+	exceed("data loss", absf(r.Serial.DataLossProb-r.Sharded.DataLossProb), e.LossAbs)
+	exceed("blocking", absf(r.Serial.BlockingProb-r.Sharded.BlockingProb), e.BlockAbs)
+	if r.Serial.MeanDelaySec > 0 {
+		exceed("mean delay", absf(r.Serial.MeanDelaySec-r.Sharded.MeanDelaySec)/r.Serial.MeanDelaySec, e.DelayRel)
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("serial and %d-shard plans disagree on %q:\n  %s\n%s",
+		r.Shards, r.Name, strings.Join(bad, "\n  "), r.Report())
+}
+
+// Report renders a side-by-side comparison table of the two plans.
+func (r EnvelopeResult) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "shard envelope %q (%d shards):\n", r.Name, r.Shards)
+	fmt.Fprintf(&sb, "  %-14s %10s %10s %+10s\n", "metric", "serial", "sharded", "delta")
+	row := func(name string, s, p float64) {
+		fmt.Fprintf(&sb, "  %-14s %10.4f %10.4f %+10.4f\n", name, s, p, p-s)
+	}
+	row("utilization", r.Serial.Utilization, r.Sharded.Utilization)
+	row("data loss", r.Serial.DataLossProb, r.Sharded.DataLossProb)
+	row("blocking", r.Serial.BlockingProb, r.Sharded.BlockingProb)
+	row("mean delay s", r.Serial.MeanDelaySec, r.Sharded.MeanDelaySec)
+	row("p99 delay s", r.Serial.P99DelaySec, r.Sharded.P99DelaySec)
+	return sb.String()
+}

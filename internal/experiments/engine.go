@@ -147,6 +147,9 @@ func (o Options) runJobs(jobs []Job) error {
 			c := jobs[job].Cfg
 			c.Seed = seeds[seed]
 			c.Cache = o.Cache
+			if o.Shards > 1 {
+				c.Shards = scenario.ShardableK(c, o.Shards)
+			}
 			if o.Obs.Active() {
 				// Per-run observability: every run gets its own
 				// collector; artifacts are named by point label + seed.

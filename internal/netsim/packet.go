@@ -50,6 +50,7 @@ type Receiver interface {
 // packet after handing it to a Receiver or after freeing it.
 type Packet struct {
 	FlowID int
+	Class  int   // traffic class index (for accounting away from the source)
 	Seq    int64 // per-flow, per-kind sequence number
 	Size   int   // bytes
 	Kind   Kind
@@ -75,26 +76,47 @@ func (p *Packet) Forward(now sim.Time) {
 	next.Receive(now, p)
 }
 
+// nextHop returns the receiver the packet would visit next without
+// advancing, or nil at the end of the route.
+func (p *Packet) nextHop() Receiver {
+	if p.hop >= len(p.Route) {
+		return nil
+	}
+	return p.Route[p.hop]
+}
+
 // Bits returns the packet size in bits.
 func (p *Packet) Bits() int { return p.Size * 8 }
 
-// Pool is a freelist of packets. The simulator is single-threaded, so no
-// locking is needed; at steady state packet churn causes no allocation.
+// poolSlab is the arena block size: fresh packets are carved from
+// contiguous []Packet slabs so the packets a run churns through stay
+// cache-local instead of being scattered by individual allocations.
+const poolSlab = 256
+
+// Pool is a freelist of packets over slab arenas. A pool (and everything
+// carved from it) belongs to one simulation thread — a shard or a serial
+// run — so no locking is needed. At steady state packet churn causes no
+// allocation.
 type Pool struct {
 	free []*Packet
+	slab []Packet // remainder of the current arena block
 	// Allocated counts total packets ever allocated (for leak tests).
 	Allocated int64
 }
 
 // Get returns a zeroed packet with the given route, starting at hop 0.
 func (pl *Pool) Get() *Packet {
-	n := len(pl.free)
-	if n == 0 {
-		pl.Allocated++
-		return &Packet{}
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free = pl.free[:n-1]
+		return p
 	}
-	p := pl.free[n-1]
-	pl.free = pl.free[:n-1]
+	if len(pl.slab) == 0 {
+		pl.slab = make([]Packet, poolSlab)
+	}
+	p := &pl.slab[0]
+	pl.slab = pl.slab[1:]
+	pl.Allocated++
 	return p
 }
 

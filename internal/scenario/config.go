@@ -165,6 +165,18 @@ type Config struct {
 	// artifacts the caller asked for.
 	Cache *cache.Store
 
+	// Shards, if 2 or more, partitions the topology by link into that many
+	// shard domains and runs them concurrently under the conservative
+	// windowed executor (internal/sim/shard), using boundary-link
+	// propagation delay as lookahead. The count is clamped to the number
+	// of links; 0 or 1 selects the serial path, which remains
+	// byte-identical to previous releases. Sharded runs are deterministic
+	// for a fixed shard count but only statistically equivalent to the
+	// serial path (the per-shard arrival processes are independent
+	// thinnings of the aggregate process); see DESIGN.md §4e. Requires
+	// Method EAC or None and inactive Obs.
+	Shards int
+
 	// PrepopulateUtil, if positive, seeds the simulation at time zero
 	// with enough already-admitted flows to load link 0 to roughly this
 	// average utilization. Exponential lifetimes are memoryless, so the
@@ -266,6 +278,20 @@ func (c Config) Validate() error {
 			return fmt.Errorf("scenario: RED keeps a single FIFO and cannot host out-of-band probes")
 		}
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("scenario: negative shard count")
+	}
+	if k := effectiveShards(c); k > 1 {
+		if c.Method != EAC && c.Method != None {
+			return fmt.Errorf("scenario: sharding requires method EAC or none (%s reads router state across shards)", c.Method)
+		}
+		if c.Obs.Active() {
+			return fmt.Errorf("scenario: sharding is incompatible with observability")
+		}
+		if _, err := planShards(&c, k); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -354,7 +380,7 @@ func Aggregate(runs []Metrics) MultiMetrics {
 	if len(runs) == 0 {
 		return mm
 	}
-	var util, loss, block, probe, decided math64
+	var util, loss, block, probe, decided, retries, mdel, p99 math64
 	mm.Mean.Classes = make([]ClassMetrics, len(runs[0].Classes))
 	mm.Mean.Links = make([]LinkMetrics, len(runs[0].Links))
 	for i := range mm.Mean.Classes {
@@ -366,6 +392,9 @@ func Aggregate(runs []Metrics) MultiMetrics {
 		block.add(r.BlockingProb)
 		probe.add(r.ProbeShare)
 		decided.add(float64(r.Decided))
+		retries.add(float64(r.Retries))
+		mdel.add(r.MeanDelaySec)
+		p99.add(r.P99DelaySec)
 		for i := range r.Classes {
 			mm.Mean.Classes[i].Arrived += r.Classes[i].Arrived
 			mm.Mean.Classes[i].Accepted += r.Classes[i].Accepted
@@ -385,6 +414,9 @@ func Aggregate(runs []Metrics) MultiMetrics {
 	mm.Mean.BlockingProb = block.avg()
 	mm.Mean.ProbeShare = probe.avg()
 	mm.Mean.Decided = int64(decided.avg() * float64(len(runs)))
+	mm.Mean.Retries = int64(retries.avg() * float64(len(runs)))
+	mm.Mean.MeanDelaySec = mdel.avg()
+	mm.Mean.P99DelaySec = p99.avg()
 	mm.UtilStderr = util.stderr()
 	mm.LossStderr = loss.stderr()
 	return mm

@@ -35,6 +35,10 @@ func (c Config) Fingerprint() string {
 	w := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
 	w("v=%s\n", ResultsVersion)
 	w("seed=%d method=%d queue=%d\n", c.Seed, c.Method, c.Queue)
+	// The effective (clamped) shard count, not the raw field: Shards=0,
+	// Shards=1, and any value that clamps down to 1 all run the identical
+	// serial path and must share a cache entry.
+	w("shards=%d\n", effectiveShards(c))
 	w("tau=%g life=%g vq=%g prepop=%g\n",
 		c.InterArrival, c.LifetimeSec, c.VQFactor, c.PrepopulateUtil)
 	w("dur=%d warm=%d drain=%d\n", int64(c.Duration), int64(c.Warmup), int64(c.Drain))

@@ -83,6 +83,13 @@ func TestFingerprintSensitivity(t *testing.T) {
 			c.Links = []LinkSpec{{}, {}}
 			c.Classes = []ClassSpec{{Preset: trafgen.EXP1, Eps: -1, Path: []int{0, 1}}}
 		},
+		"Links.Count": func(c *Config) { c.Links = []LinkSpec{{}, {}} },
+		// Differs from Links.Count only in the effective shard count, so
+		// their distinctness pins the shards line of the fingerprint.
+		"Shards": func(c *Config) {
+			c.Links = []LinkSpec{{}, {}}
+			c.Shards = 2
+		},
 		"Link.RateBps":    func(c *Config) { c.Links = []LinkSpec{{RateBps: 5e6}} },
 		"Link.Delay":      func(c *Config) { c.Links = []LinkSpec{{Delay: 5 * sim.Millisecond}} },
 		"Link.BufferPkts": func(c *Config) { c.Links = []LinkSpec{{BufferPkts: 100}} },
@@ -111,7 +118,7 @@ func TestFingerprintCoversConfig(t *testing.T) {
 		reflect.TypeOf(Config{}): {"Name", "Classes", "Links", "InterArrival",
 			"LifetimeSec", "Method", "AC", "MS", "PV", "Queue", "VQFactor",
 			"Duration", "Warmup", "Drain", "MaxRetries", "RetryBackoffSec",
-			"Obs", "Cache", "PrepopulateUtil", "Seed"},
+			"Obs", "Cache", "Shards", "PrepopulateUtil", "Seed"},
 		reflect.TypeOf(ClassSpec{}):        {"Name", "Preset", "Weight", "Eps", "Path"},
 		reflect.TypeOf(LinkSpec{}):         {"RateBps", "Delay", "BufferPkts"},
 		reflect.TypeOf(PassiveConfig{}):    {"WindowSec"},

@@ -30,12 +30,19 @@ type flowState struct {
 	counted   bool // decision falls inside the measurement window
 	attempts  int  // completed admission attempts (for retries)
 
-	dataSeq           int64
-	winSent, winRecv  int64 // emitted/arrived within the accounting window
-	winDrop           int64 // window packets dropped at a router
-	sentAll, recvdAll int64
-	active            bool
-	lastFrac          float64 // bad-packet fraction of the last probe (EAC)
+	active   bool
+	lastFrac float64 // bad-packet fraction of the last probe (EAC)
+}
+
+// flowHot holds the per-flow counters touched on every packet event. They
+// live in one contiguous arena (Runner.hot, indexed by flow ID) rather than
+// inside the pointer-scattered flowState structs, so the packet hot loop —
+// emit, sink, drop — walks cache-local memory. One entry is 48 bytes.
+type flowHot struct {
+	dataSeq          int64
+	winSent, winRecv int64 // emitted/arrived within the accounting window
+	winDrop          int64 // window packets dropped at a router
+	sentAll, recvAll int64
 }
 
 // Runner executes one configured scenario.
@@ -54,6 +61,7 @@ type Runner struct {
 	rngRetry *stats.RNG
 
 	flows     []*flowState
+	hot       []flowHot    // per-flow packet counters, parallel to flows
 	freeFlows []*flowState // retired flow states awaiting reuse (reset path)
 	arrEv     *sim.Event   // the single pending flow-arrival event
 	classes   []ClassMetrics
@@ -61,6 +69,15 @@ type Runner struct {
 	winStart, winEnd sim.Time // packet accounting window
 	decided          int64
 	retries          int64
+
+	// meanIA is the mean flow inter-arrival time fed to the arrival
+	// process: Config.InterArrival on the serial path, scaled up by the
+	// shard's share of the class weights on the sharded path (thinning a
+	// Poisson process splits it into independent Poisson processes).
+	meanIA float64
+	// slot is non-nil when this runner drives one shard of a partitioned
+	// topology (see shard.go). Serial runners leave it nil.
+	slot *shardSlot
 
 	// Observability (nil/inert by default; see Config.Obs and Observe).
 	obs         *obs.Collector
@@ -97,6 +114,7 @@ func newRunner(cfg Config) *Runner {
 	r.arrEv = sim.NewEvent(r.onFlowArrival)
 	r.winStart = cfg.Warmup
 	r.winEnd = cfg.Duration - cfg.Drain
+	r.meanIA = cfg.InterArrival
 
 	maxPkt := maxPktSize(cfg)
 	for i, ls := range cfg.Links {
@@ -125,15 +143,36 @@ func maxPktSize(cfg Config) int {
 	return maxPkt
 }
 
-// newDiscipline builds the queue discipline for link i per r.cfg.Queue.
-func (r *Runner) newDiscipline(i int, ls LinkSpec, maxPkt int) netsim.Discipline {
-	switch r.cfg.Queue {
+// newDiscipline builds the queue discipline for link i per cfg.Queue. It is
+// a free function because both the serial runner and the sharded executor
+// build links.
+func newDiscipline(cfg *Config, i int, ls LinkSpec, maxPkt int) netsim.Discipline {
+	switch cfg.Queue {
 	case QueueRED:
 		return netsim.NewRED(ls.BufferPkts, netsim.REDConfig{
 			MeanPktTime: sim.Time(float64(maxPkt*8) / ls.RateBps * float64(sim.Second)),
-		}, stats.NewStream(r.cfg.Seed, fmt.Sprintf("red-%d", i)))
+		}, stats.NewStream(cfg.Seed, fmt.Sprintf("red-%d", i)))
 	default:
 		return netsim.NewPriorityPushout(ls.BufferPkts)
+	}
+}
+
+func (r *Runner) newDiscipline(i int, ls LinkSpec, maxPkt int) netsim.Discipline {
+	return newDiscipline(&r.cfg, i, ls, maxPkt)
+}
+
+// attachMarker installs the EAC marking shadow queue on a link, when the
+// configured design uses one. Shared by the serial and sharded wiring.
+func attachMarker(cfg *Config, l *netsim.Link, ls LinkSpec, maxPkt int) {
+	if cfg.Method != EAC {
+		return
+	}
+	switch cfg.AC.Design.Signal {
+	case admission.Mark:
+		l.Marker = netsim.NewVirtualQueue(cfg.VQFactor*ls.RateBps, int64(ls.BufferPkts*maxPkt))
+	case admission.VDrop:
+		l.Marker = netsim.NewVirtualQueue(cfg.VQFactor*ls.RateBps, int64(ls.BufferPkts*maxPkt))
+		l.VQDropProbes = true
 	}
 }
 
@@ -144,15 +183,7 @@ func (r *Runner) newDiscipline(i int, ls LinkSpec, maxPkt int) netsim.Discipline
 func (r *Runner) wireLink(i, maxPkt int) {
 	cfg, ls, l := &r.cfg, r.cfg.Links[i], r.links[i]
 	l.OnDrop = r.onLinkDrop
-	if cfg.Method == EAC {
-		switch cfg.AC.Design.Signal {
-		case admission.Mark:
-			l.Marker = netsim.NewVirtualQueue(cfg.VQFactor*ls.RateBps, int64(ls.BufferPkts*maxPkt))
-		case admission.VDrop:
-			l.Marker = netsim.NewVirtualQueue(cfg.VQFactor*ls.RateBps, int64(ls.BufferPkts*maxPkt))
-			l.VQDropProbes = true
-		}
-	}
+	attachMarker(cfg, l, ls, maxPkt)
 	switch cfg.Method {
 	case MBAC:
 		m := mbac.New(ls.RateBps, cfg.MS)
@@ -195,6 +226,7 @@ func (r *Runner) reset(cfg Config) {
 	r.rngRetry.ReseedStream(cfg.Seed, "retries")
 	r.winStart = cfg.Warmup
 	r.winEnd = cfg.Duration - cfg.Drain
+	r.meanIA = cfg.InterArrival
 	r.ms = r.ms[:0]
 	r.monitors = r.monitors[:0]
 
@@ -243,8 +275,14 @@ func (r *Runner) releaseFlows() {
 			f.prober.ForgetEvents()
 		}
 		f.stopEv.Forget()
+		route := f.route[:0]
+		if r.slot != nil {
+			// Sharded flows share the class route template; keeping an
+			// aliased slice across runs would invite appends into it.
+			route = nil
+		}
 		*f = flowState{
-			route:     f.route[:0],
+			route:     route,
 			stopEv:    f.stopEv,
 			prober:    f.prober,
 			probeDone: f.probeDone,
@@ -253,6 +291,7 @@ func (r *Runner) releaseFlows() {
 		r.freeFlows = append(r.freeFlows, f)
 	}
 	r.flows = r.flows[:0]
+	r.hot = r.hot[:0]
 }
 
 // newFlow hands out the next flowState — recycled when the freelist has
@@ -270,6 +309,7 @@ func (r *Runner) newFlow(class int) *flowState {
 	f.id = len(r.flows)
 	f.class = class
 	r.flows = append(r.flows, f)
+	r.hot = append(r.hot, flowHot{})
 	return f
 }
 
@@ -287,7 +327,7 @@ func (r *Runner) stopFlow(f *flowState) {
 // packets still in flight when the run ends out of the loss statistics.
 func (r *Runner) onLinkDrop(now sim.Time, p *netsim.Packet) {
 	if p.Kind == netsim.Data && p.SentAt >= r.winStart && p.SentAt <= r.winEnd {
-		r.flows[p.FlowID].winDrop++
+		r.hot[p.FlowID].winDrop++
 	}
 	r.pool.Put(p)
 }
@@ -382,13 +422,13 @@ func (r *Runner) prepopulate() {
 	}
 	avg /= wsum
 	n := int(r.cfg.PrepopulateUtil*r.cfg.Links[0].RateBps/avg + 0.5)
+	if r.slot != nil {
+		n = r.slot.prepopShare(n)
+	}
 	for i := 0; i < n; i++ {
 		class := r.pickClass()
 		f := r.newFlow(class)
-		for _, li := range r.path(class) {
-			f.route = append(f.route, r.links[li])
-		}
-		f.route = append(f.route, (*sinkRecv)(r))
+		r.buildRoute(f, class)
 		f.active = true
 		r.startData(0, f)
 	}
@@ -398,7 +438,7 @@ func (r *Runner) prepopulate() {
 func (r *Runner) Sim() *sim.Sim { return r.s }
 
 func (r *Runner) scheduleNextArrival(now sim.Time) {
-	gap := sim.Seconds(r.rngArr.Exp(r.cfg.InterArrival))
+	gap := sim.Seconds(r.rngArr.Exp(r.meanIA))
 	at := now + gap
 	if at >= r.cfg.Duration {
 		return
@@ -408,15 +448,22 @@ func (r *Runner) scheduleNextArrival(now sim.Time) {
 	r.s.Schedule(r.arrEv, at)
 }
 
-// pickClass samples a class index by weight.
+// pickClass samples a class index by weight. A sharded runner samples only
+// the classes its shard owns (slot.classW zeroes the rest), which together
+// with the thinned arrival rate reconstructs the serial scenario's
+// per-class Poisson arrival processes exactly in distribution.
 func (r *Runner) pickClass() int {
+	weight := func(i int) float64 { return r.cfg.Classes[i].Weight }
+	if r.slot != nil {
+		weight = func(i int) float64 { return r.slot.classW[i] }
+	}
 	total := 0.0
-	for _, cl := range r.cfg.Classes {
-		total += cl.Weight
+	for i := range r.cfg.Classes {
+		total += weight(i)
 	}
 	x := r.rngPick.Float64() * total
-	for i, cl := range r.cfg.Classes {
-		x -= cl.Weight
+	for i := range r.cfg.Classes {
+		x -= weight(i)
 		if x < 0 {
 			return i
 		}
@@ -433,18 +480,29 @@ func (r *Runner) path(class int) []int {
 	return p
 }
 
+// buildRoute assembles a flow's packet route for its class: the congested
+// links of the class path terminating at the shared sink (the runner
+// itself). Sharded runners instead share the per-class route template,
+// which splices portal hops at shard boundaries (see shard.go); templates
+// are immutable for the duration of a run, so sharing is safe.
+func (r *Runner) buildRoute(f *flowState, class int) {
+	if r.slot != nil {
+		f.route = r.slot.tmpl[class]
+		return
+	}
+	for _, li := range r.path(class) {
+		f.route = append(f.route, r.links[li])
+	}
+	f.route = append(f.route, (*sinkRecv)(r))
+}
+
 func (r *Runner) onFlowArrival(now sim.Time) {
 	r.scheduleNextArrival(now)
 
 	class := r.pickClass()
 	cl := r.cfg.Classes[class]
 	f := r.newFlow(class)
-	// Route: the congested links of the class path, terminating at the
-	// shared sink (the runner itself).
-	for _, li := range r.path(class) {
-		f.route = append(f.route, r.links[li])
-	}
-	f.route = append(f.route, (*sinkRecv)(r))
+	r.buildRoute(f, class)
 
 	switch r.cfg.Method {
 	case MBAC:
@@ -555,17 +613,19 @@ func (r *Runner) startData(now sim.Time, f *flowState) {
 }
 
 func (r *Runner) emitData(now sim.Time, f *flowState, size int) {
+	h := &r.hot[f.id]
 	pk := r.pool.Get()
 	pk.FlowID = f.id
+	pk.Class = f.class
 	pk.Kind = netsim.Data
 	pk.Band = netsim.BandData
 	pk.Size = size
-	pk.Seq = f.dataSeq
+	pk.Seq = h.dataSeq
 	pk.Route = f.route
-	f.dataSeq++
-	f.sentAll++
+	h.dataSeq++
+	h.sentAll++
 	if now >= r.winStart && now <= r.winEnd {
-		f.winSent++
+		h.winSent++
 	}
 	netsim.Send(now, pk)
 }
@@ -582,9 +642,10 @@ func (k *sinkRecv) Receive(now sim.Time, p *netsim.Packet) {
 			f.prober.OnProbeArrival(now, p)
 		}
 	} else {
-		f.recvdAll++
+		h := &r.hot[p.FlowID]
+		h.recvAll++
 		if p.SentAt >= r.winStart && p.SentAt <= r.winEnd {
-			f.winRecv++
+			h.winRecv++
 			d := now - p.SentAt
 			r.delayStats.Add(d.Sec())
 			ms := int(d / sim.Millisecond)
@@ -607,11 +668,12 @@ func (r *Runner) metrics() Metrics {
 	// lost, and must not inflate the loss probability (it used to, when
 	// Drain was shorter than the path's queueing+propagation delay).
 	var sent, lost int64
-	for _, f := range r.flows {
-		m.Classes[f.class].DataSent += f.winSent
-		m.Classes[f.class].DataLost += f.winDrop
-		sent += f.winSent
-		lost += f.winDrop
+	for i, f := range r.flows {
+		h := &r.hot[i]
+		m.Classes[f.class].DataSent += h.winSent
+		m.Classes[f.class].DataLost += h.winDrop
+		sent += h.winSent
+		lost += h.winDrop
 	}
 	if sent > 0 {
 		m.DataLossProb = float64(lost) / float64(sent)
@@ -649,22 +711,26 @@ func (r *Runner) metrics() Metrics {
 	return m
 }
 
-// delayPercentile reads the q-quantile from the millisecond histogram
-// (upper bucket edge, so the estimate is conservative).
-func (r *Runner) delayPercentile(q float64) float64 {
-	total := r.delayStats.N()
+// delayPercentile reads the q-quantile from a millisecond histogram (upper
+// bucket edge, so the estimate is conservative). Free function so the
+// shard-merge path can apply it to a summed histogram.
+func delayPercentile(hist *[1001]int64, total int64, q float64) float64 {
 	if total == 0 {
 		return 0
 	}
 	target := int64(q * float64(total))
 	var cum int64
-	for ms, c := range r.delayHist {
+	for ms, c := range hist {
 		cum += c
 		if cum > target {
 			return float64(ms+1) / 1000
 		}
 	}
-	return float64(len(r.delayHist)) / 1000
+	return float64(len(hist)) / 1000
+}
+
+func (r *Runner) delayPercentile(q float64) float64 {
+	return delayPercentile(&r.delayHist, r.delayStats.N(), q)
 }
 
 // Run executes a single scenario run. With observability enabled
@@ -678,6 +744,15 @@ func Run(cfg Config) (Metrics, error) {
 	}
 	key, m, ok := cacheGet(cfg)
 	if ok {
+		return m, nil
+	}
+	if k := effectiveShards(cfg); k > 1 {
+		e, err := newShardExec(cfg, k)
+		if err != nil {
+			return Metrics{}, err
+		}
+		m = e.run()
+		cachePut(cfg, key, m)
 		return m, nil
 	}
 	r := newRunner(cfg)

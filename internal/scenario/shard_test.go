@@ -1,0 +1,234 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"eac/internal/sim"
+	"eac/internal/trafgen"
+)
+
+// shardChainConfig builds a small multihop chain: one long class over all
+// links plus a per-link cross class — the smallest topology with genuine
+// cross-shard traffic under a contiguous link partition.
+func shardChainConfig(links int) Config {
+	cfg := Config{
+		Duration:        25 * sim.Second,
+		Warmup:          5 * sim.Second,
+		InterArrival:    0.4,
+		LifetimeSec:     60,
+		PrepopulateUtil: 0.5,
+		Seed:            11,
+	}
+	cfg.Links = make([]LinkSpec, links) // paper defaults: 10 Mb/s, 20 ms, 200 pkts
+	long := make([]int, links)
+	for i := range long {
+		long[i] = i
+	}
+	cfg.Classes = append(cfg.Classes, ClassSpec{Name: "long", Preset: trafgen.EXP1, Weight: 1, Eps: -1, Path: long})
+	for i := 0; i < links; i++ {
+		cfg.Classes = append(cfg.Classes, ClassSpec{Name: "x", Preset: trafgen.EXP1, Weight: 1, Eps: -1, Path: []int{i}})
+	}
+	return cfg
+}
+
+// TestShardSerialIdentity pins that Shards=0, Shards=1, and any count that
+// clamps to 1 are the byte-identical serial path.
+func TestShardSerialIdentity(t *testing.T) {
+	base := shardChainConfig(3)
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, k := range map[string]int{"one": 1, "zero": 0} {
+		c := base
+		c.Shards = k
+		m, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(m, ref) {
+			t.Errorf("Shards=%s diverged from the serial path", name)
+		}
+	}
+	// Single link: any shard request clamps to serial.
+	single := Config{Duration: 20 * sim.Second, Warmup: 5 * sim.Second,
+		InterArrival: 0.5, LifetimeSec: 60, PrepopulateUtil: 0.5, Seed: 3}
+	sref, err := Run(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.Shards = 8
+	m, err := Run(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, sref) {
+		t.Error("Shards on a single-link topology must clamp to the serial path")
+	}
+}
+
+// TestShardDeterministic: for a fixed shard count, repeated fresh runs are
+// bitwise identical — barrier exchange and per-shard streams are fully
+// deterministic.
+func TestShardDeterministic(t *testing.T) {
+	cfg := shardChainConfig(4)
+	cfg.Shards = 2
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("sharded run not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestShardPlausible sanity-checks merged sharded metrics: traffic flows,
+// decisions happen, utilization lands in (0,1], and the per-class counters
+// add up.
+func TestShardPlausible(t *testing.T) {
+	cfg := shardChainConfig(4)
+	cfg.Shards = 4
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Decided == 0 {
+		t.Error("no admission decisions recorded")
+	}
+	if m.Utilization <= 0 || m.Utilization > 1 {
+		t.Errorf("utilization %v out of range", m.Utilization)
+	}
+	var sent int64
+	for _, cm := range m.Classes {
+		if cm.Arrived != cm.Accepted+cm.Blocked {
+			t.Errorf("class %s: arrived %d != accepted %d + blocked %d",
+				cm.Name, cm.Arrived, cm.Accepted, cm.Blocked)
+		}
+		sent += cm.DataSent
+	}
+	if sent == 0 {
+		t.Error("no data packets in the accounting window")
+	}
+	if m.MeanDelaySec <= 0 {
+		t.Error("no delay samples merged")
+	}
+}
+
+// TestShardWorkspaceReuse pins that the sharded reuse seam is
+// output-neutral: a Workspace cycling through sharded configs reproduces
+// fresh-executor results exactly.
+func TestShardWorkspaceReuse(t *testing.T) {
+	a := shardChainConfig(4)
+	a.Shards = 2
+	b := a
+	b.Seed = 99
+	b.Links[0].RateBps = 8e6 // same structure, different parameters
+	ws := NewWorkspace()
+	for _, cfg := range []Config{a, b, a} {
+		got, err := ws.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("reused sharded executor diverged for seed %d", cfg.Seed)
+		}
+	}
+	if ws.ShardExecuted() == nil {
+		t.Error("ShardExecuted returned nil after sharded runs")
+	}
+}
+
+// TestShardRaceSmoke exercises the cross-shard channels with maximum
+// parallelism on a short run; it exists so `go test -race -short` (the
+// race CI lane) covers the barrier hand-off.
+func TestShardRaceSmoke(t *testing.T) {
+	cfg := shardChainConfig(4)
+	cfg.Duration = 12 * sim.Second
+	cfg.Warmup = 3 * sim.Second
+	cfg.Shards = 4
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardValidate covers the sharding restrictions.
+func TestShardValidate(t *testing.T) {
+	base := shardChainConfig(3)
+	cases := map[string]func(*Config){
+		"negative":   func(c *Config) { c.Shards = -1 },
+		"mbac":       func(c *Config) { c.Shards = 2; c.Method = MBAC },
+		"passive":    func(c *Config) { c.Shards = 2; c.Method = Passive },
+		"zero-delay": func(c *Config) { c.Shards = 3; c.Links[1].Delay = -1 },
+	}
+	for name, mutate := range cases {
+		c := base
+		c.Links = append([]LinkSpec(nil), base.Links...)
+		mutate(&c)
+		c = c.WithDefaults()
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected a validation error", name)
+		}
+	}
+	ok := base
+	ok.Shards = 3
+	if err := ok.WithDefaults().Validate(); err != nil {
+		t.Errorf("valid sharded config rejected: %v", err)
+	}
+}
+
+// TestShardableK pins the clamping rules the auto-selection relies on.
+func TestShardableK(t *testing.T) {
+	multi := shardChainConfig(4)
+	if k := ShardableK(multi, 3); k != 3 {
+		t.Errorf("ShardableK(multi,3)=%d", k)
+	}
+	if k := ShardableK(multi, 9); k != 4 {
+		t.Errorf("ShardableK clamps to link count: got %d", k)
+	}
+	single := Config{}
+	if k := ShardableK(single, 8); k != 1 {
+		t.Errorf("single link must clamp to 1, got %d", k)
+	}
+	mbac := multi
+	mbac.Method = MBAC
+	if k := ShardableK(mbac, 4); k != 1 {
+		t.Errorf("MBAC must clamp to 1, got %d", k)
+	}
+}
+
+// TestMetroStarPreset sanity-checks the large-topology preset's shape and
+// that a short sharded run of it executes end to end.
+func TestMetroStarPreset(t *testing.T) {
+	cfg := MetroStar(MetroStarOptions{})
+	if got, want := len(cfg.Links), 1+8*3; got != want {
+		t.Fatalf("links = %d, want %d", got, want)
+	}
+	if got, want := len(cfg.Classes), 16; got != want {
+		t.Fatalf("classes = %d, want %d", got, want)
+	}
+	if err := cfg.WithDefaults().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	small := MetroStar(MetroStarOptions{Chains: 3, Hops: 2, Hosts: 600})
+	small.Duration = 8 * sim.Second
+	small.Warmup = 2 * sim.Second
+	small.Drain = sim.Second
+	small.Shards = 3
+	small.Seed = 5
+	m, err := Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Utilization <= 0.2 || m.Utilization > 1 {
+		t.Errorf("metro-star hub utilization %v implausible", m.Utilization)
+	}
+}

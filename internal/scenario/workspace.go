@@ -13,7 +13,8 @@ import "encoding/json"
 // (RunSeedsParallel, the experiments engine) give each worker goroutine its
 // own Workspace.
 type Workspace struct {
-	r *Runner
+	r  *Runner
+	sx *shardExec // sharded-path twin of r, reused across sharded runs
 }
 
 // NewWorkspace returns an empty workspace; the first Run populates it.
@@ -22,6 +23,9 @@ func NewWorkspace() *Workspace { return &Workspace{} }
 // Run behaves exactly like the package-level Run — same defaults,
 // validation, metrics, observability flush, and cache protocol — but
 // recycles the previous run's allocations when the topology size matches.
+// Configs with an effective shard count above 1 take the sharded executor
+// (with its own reuse seam, one Workspace per shard set); all others take
+// the byte-identical serial path.
 func (ws *Workspace) Run(cfg Config) (Metrics, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -29,6 +33,20 @@ func (ws *Workspace) Run(cfg Config) (Metrics, error) {
 	}
 	key, m, ok := cacheGet(cfg)
 	if ok {
+		return m, nil
+	}
+	if k := effectiveShards(cfg); k > 1 {
+		if ws.sx != nil && ws.sx.canReuse(cfg, k) {
+			ws.sx.reset(cfg)
+		} else {
+			sx, err := newShardExec(cfg, k)
+			if err != nil {
+				return Metrics{}, err
+			}
+			ws.sx = sx
+		}
+		m = ws.sx.run()
+		cachePut(cfg, key, m)
 		return m, nil
 	}
 	if ws.r != nil && ws.r.canReuse(cfg) {
@@ -42,6 +60,21 @@ func (ws *Workspace) Run(cfg Config) (Metrics, error) {
 	}
 	cachePut(cfg, key, m)
 	return m, nil
+}
+
+// ShardExecuted returns the per-shard executed-event counts of the most
+// recent sharded run; a workspace that has only run the serial path
+// returns the serial simulator's count as a one-element slice, and a
+// workspace that has not run anything returns nil. Benchmarks use it to
+// report load balance and the critical-path speedup bound.
+func (ws *Workspace) ShardExecuted() []uint64 {
+	if ws.sx != nil {
+		return ws.sx.executed()
+	}
+	if ws.r != nil {
+		return []uint64{ws.r.Sim().Executed()}
+	}
+	return nil
 }
 
 // cacheGet consults cfg.Cache for the run's fingerprinted result. The
