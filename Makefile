@@ -1,7 +1,7 @@
 # Tier-1 flow: `make ci` is what a checkin must keep green.
 GO ?= go
 
-.PHONY: build test race vet bench bench-hotpath bench-grid bench-shard cache-clear cover ci conformance update-golden fuzz-smoke
+.PHONY: build test race vet bench bench-hotpath bench-grid bench-shard bench-check cache-clear cover ci conformance update-golden fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,15 @@ bench-grid:
 # caveat on wall-clock ratios.
 bench-shard:
 	$(GO) test -run '^$$' -bench BenchmarkShard -benchmem -benchtime 3x -timeout 30m .
+
+# bench-check is the regression gate over results/BENCH_index.json: the
+# newest entry of each (benchmark, metric) series is compared against its
+# predecessor under per-series tolerances (baseline-normalized where a
+# record carries an interleaved baseline) and the target exits nonzero on
+# any regression. Run it after any `make bench-*` target before
+# committing the refreshed index.
+bench-check:
+	$(GO) run ./cmd/benchcheck
 
 # cache-clear wipes the content-addressed result cache (default location,
 # or EAC_CACHE_DIR). Do this after bumping scenario.ResultsVersion or

@@ -1,0 +1,43 @@
+// Command benchcheck is the benchmark regression gate: it compares the
+// newest entry of every BENCH series in results/BENCH_index.json against
+// its predecessor under per-series tolerances and exits nonzero when any
+// series regressed. Scores are baseline-normalized when a record carries
+// an interleaved baseline (cancelling cross-host wall-clock drift) and
+// absolute otherwise.
+//
+//	benchcheck                 # gate results/BENCH_index.json
+//	benchcheck -index foo.json # gate another index file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"eac/internal/benchindex"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchcheck: ")
+	index := flag.String("index", "results/BENCH_index.json", "benchmark index to gate")
+	flag.Parse()
+
+	checks, regressed, err := benchindex.CheckIndex(*index)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(checks) == 0 {
+		log.Printf("%s: no series recorded; nothing to gate", *index)
+		return
+	}
+	for _, c := range checks {
+		fmt.Println(c.String())
+	}
+	if regressed {
+		log.Printf("%s: regression detected", *index)
+		os.Exit(1)
+	}
+	log.Printf("%s: %d series pass", *index, len(checks))
+}

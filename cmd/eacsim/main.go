@@ -94,6 +94,7 @@ func main() {
 		obsDir    = flag.String("obs", "", "write observability artifacts (run manifest, per-queue time-series CSVs, JSONL event traces) under this directory")
 		mInterval = flag.Float64("metrics-interval", 1, "queue telemetry sampling interval, simulated seconds (0 disables the time series)")
 		traceOut  = flag.String("trace-out", "", "JSONL event trace path (default <obs>/eacsim-s<seed>-trace.jsonl; implies -obs in the file's directory; single seed only)")
+		perfetto  = flag.String("trace-perfetto", "", "Chrome/Perfetto trace-event JSON export path for the probe-lifecycle spans (open with ui.perfetto.dev; implies -obs in the file's directory; single seed only)")
 		traceCap  = flag.Int("trace-cap", 1<<16, "event trace ring capacity; the oldest events are discarded beyond this")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
@@ -154,14 +155,19 @@ func main() {
 		log.Fatalf("unknown method %q", *method)
 	}
 
-	if *traceOut != "" {
+	for _, f := range []struct{ flag, path string }{
+		{"-trace-out", *traceOut}, {"-trace-perfetto", *perfetto},
+	} {
+		if f.path == "" {
+			continue
+		}
 		if *seeds > 1 {
-			log.Fatal("-trace-out names a single file; use -seeds 1 or -obs DIR for per-seed traces")
+			log.Fatalf("%s names a single file; use -seeds 1 or -obs DIR for per-seed traces", f.flag)
 		}
 		if *obsDir == "" {
 			// Trace-only invocation: keep the manifest and series next to
 			// the requested trace file instead of littering the cwd.
-			*obsDir = filepath.Dir(*traceOut)
+			*obsDir = filepath.Dir(f.path)
 		}
 	}
 	if *obsDir != "" {
@@ -172,6 +178,7 @@ func main() {
 			MetricsInterval: sim.Seconds(*mInterval),
 			TraceCapacity:   *traceCap,
 			TracePath:       *traceOut,
+			PerfettoPath:    *perfetto,
 		}
 	}
 
@@ -196,12 +203,12 @@ func main() {
 		cfg.Shards = scenario.ShardableK(cfg, *shrds)
 	}
 	if *shrds != 1 && cfg.Shards == 1 {
-		log.Print("sharding: resolved to the serial path (single core with -shards 0, unshardable topology or method, or observability active)")
+		log.Print("sharding: resolved to the serial path (single core with -shards 0, or unshardable topology or method)")
 	}
 
 	seedVals := scenario.DefaultSeeds(*seeds)
 	start := time.Now()
-	mm, err := scenario.RunSeedsParallel(cfg, seedVals, *workers)
+	mm, recs, err := scenario.RunSeedsObserved(cfg, seedVals, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -232,15 +239,26 @@ func main() {
 			"blocking": m.BlockingProb, "decided": m.Decided,
 			"probe_share": m.ProbeShare,
 		}
+		if cfg.Shards > 1 {
+			man.Shards = cfg.Shards
+		}
+		for _, r := range recs {
+			if r.Shards > 1 && len(r.ShardExecuted) > 0 {
+				if man.ShardExecuted == nil {
+					man.ShardExecuted = make(map[string][]uint64, len(recs))
+				}
+				man.ShardExecuted[fmt.Sprintf("s%d", r.Seed)] = r.ShardExecuted
+			}
+		}
 		if store != nil {
-			man.Cache = &cache.Snapshot{Dir: store.Dir(), Stats: store.Stats()}
+			man.Cache = &cache.Snapshot{Dir: store.Dir(), Stats: store.Stats(),
+				Bypassed: "obs active"}
 		}
 		for _, s := range seedVals {
-			series, trace := cfg.Obs.ArtifactPaths(s)
-			man.Artifacts = append(man.Artifacts, series)
-			if trace != "" {
-				man.Artifacts = append(man.Artifacts, trace)
-			}
+			man.Artifacts = append(man.Artifacts, cfg.Obs.AllArtifactPaths(s)...)
+		}
+		if p := cfg.Obs.PerfettoFile(); p != "" {
+			man.Artifacts = append(man.Artifacts, p)
 		}
 		if err := man.Write(cfg.Obs.ManifestPath()); err != nil {
 			log.Fatal(err)

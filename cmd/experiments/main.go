@@ -190,7 +190,11 @@ func main() {
 				man.Summary = map[string]any{"rows": len(tbl.Rows)}
 				man.Artifacts = []string{ex.ID + ".csv"}
 				if store != nil {
-					man.Cache = &cache.Snapshot{Dir: store.Dir(), Stats: perExperiment[ex.ID]}
+					snap := &cache.Snapshot{Dir: store.Dir(), Stats: perExperiment[ex.ID]}
+					if opts.Obs.Active() {
+						snap.Bypassed = "obs active"
+					}
+					man.Cache = snap
 				}
 				mp := filepath.Join(*outDir, ex.ID+".manifest.json")
 				if err := man.Write(mp); err != nil {

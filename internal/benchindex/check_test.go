@@ -1,0 +1,147 @@
+package benchindex
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func rec(name string, value, baseline float64) Record {
+	return Record{Name: name, Date: "2026-01-01T00:00:00Z", Metric: "ns_per_run",
+		Value: value, Unit: "ns", Baseline: baseline}
+}
+
+func TestCheckPassesFlatSeries(t *testing.T) {
+	recs := []Record{
+		rec("a", 100, 0), rec("a", 110, 0), // +10% < default 35%
+		rec("b", 100, 105), rec("b", 200, 210), // ratio unchanged across a 2x slower host
+	}
+	checks := Check(recs, nil, DefaultTolerance)
+	if len(checks) != 2 {
+		t.Fatalf("got %d checks, want 2", len(checks))
+	}
+	for _, c := range checks {
+		if c.Regressed || c.Skipped {
+			t.Errorf("%s: regressed=%v skipped=%v, want pass", c.Name, c.Regressed, c.Skipped)
+		}
+	}
+}
+
+func TestCheckFlagsSyntheticRegression(t *testing.T) {
+	recs := []Record{
+		rec("a", 100, 0),
+		rec("a", 200, 0), // +100% > 35%
+	}
+	checks := Check(recs, nil, DefaultTolerance)
+	if len(checks) != 1 || !checks[0].Regressed {
+		t.Fatalf("synthetic regression not flagged: %+v", checks)
+	}
+}
+
+func TestCheckBaselineNormalization(t *testing.T) {
+	// Raw value doubles but so does the interleaved baseline: same host
+	// slowdown, no regression. Then the ratio itself doubles: regression.
+	recs := []Record{rec("a", 100, 100), rec("a", 200, 200)}
+	if c := Check(recs, nil, DefaultTolerance); c[0].Regressed {
+		t.Fatal("baseline-normalized series flagged on pure host drift")
+	}
+	recs = append(recs, rec("a", 400, 200))
+	if c := Check(recs, nil, DefaultTolerance); !c[0].Regressed {
+		t.Fatal("2x ratio increase not flagged")
+	}
+}
+
+func TestCheckPerSeriesTolerance(t *testing.T) {
+	recs := []Record{
+		rec("tight", 100, 100), rec("tight", 110, 100), // ratio +10%
+	}
+	if c := Check(recs, map[string]float64{"tight": 0.05}, DefaultTolerance); !c[0].Regressed {
+		t.Fatal("+10% not flagged under a 5% tolerance")
+	}
+	if c := Check(recs, nil, DefaultTolerance); c[0].Regressed {
+		t.Fatal("+10% flagged under the default tolerance")
+	}
+}
+
+func TestCheckSkipsSingleEntrySeries(t *testing.T) {
+	checks := Check([]Record{rec("only", 100, 0)}, nil, DefaultTolerance)
+	if len(checks) != 1 || !checks[0].Skipped || checks[0].Regressed {
+		t.Fatalf("single-entry series: %+v", checks)
+	}
+}
+
+// TestCheckGroupsByMetric pins that one benchmark name carrying two
+// metrics forms two independent series: the committed index holds e.g.
+// BenchmarkShard/shards=4 as both ns_per_run and a speedup bound, and
+// comparing across those would be meaningless.
+func TestCheckGroupsByMetric(t *testing.T) {
+	recs := []Record{
+		rec("a", 100, 0),
+		{Name: "a", Metric: "speedup", Value: 3, Unit: "x"},
+		rec("a", 110, 0),
+	}
+	checks := Check(recs, nil, DefaultTolerance)
+	if len(checks) != 2 {
+		t.Fatalf("got %d checks, want 2 (one per metric): %+v", len(checks), checks)
+	}
+	if checks[0].Regressed || !checks[1].Skipped {
+		t.Fatalf("metric grouping wrong: %+v", checks)
+	}
+}
+
+func TestCheckHigherIsBetterDirection(t *testing.T) {
+	up := func(v float64) Record {
+		return Record{Name: "s", Metric: "load_balance_speedup_bound", Value: v, Unit: "x"}
+	}
+	if c := Check([]Record{up(2), up(3)}, nil, DefaultTolerance); c[0].Regressed {
+		t.Fatal("speedup increase flagged as regression")
+	}
+	if c := Check([]Record{up(3), up(1)}, nil, DefaultTolerance); !c[0].Regressed {
+		t.Fatal("speedup collapse not flagged")
+	}
+}
+
+// TestCheckCommittedIndex gates the repo's own committed BENCH series:
+// the gate must pass on what is checked in, and demonstrably fail when a
+// synthetic regression is appended.
+func TestCheckCommittedIndex(t *testing.T) {
+	path := filepath.Join("..", "..", "results", "BENCH_index.json")
+	recs, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Skip("no committed index on this clone")
+	}
+	checks := Check(recs, SeriesTolerance, DefaultTolerance)
+	for _, c := range checks {
+		t.Log(c.String())
+		if c.Regressed {
+			t.Errorf("committed index fails the gate: %s", c)
+		}
+	}
+	// Non-vacuity: degrade the newest entry of the first multi-entry
+	// series far beyond any tolerance and expect the gate to trip.
+	for _, c := range checks {
+		if c.Skipped {
+			continue
+		}
+		bad := c.Latest
+		if HigherIsBetter[c.Metric] {
+			bad.Value /= 10
+		} else {
+			bad.Value *= 10
+		}
+		regressed := Check(append(recs, bad), SeriesTolerance, DefaultTolerance)
+		hit := false
+		for _, rc := range regressed {
+			if rc.Name == c.Name && rc.Regressed {
+				hit = true
+			}
+		}
+		if !hit {
+			t.Fatalf("10x-inflated %s not flagged", c.Name)
+		}
+		return
+	}
+	t.Log("no multi-entry series committed; synthetic-regression leg skipped")
+}

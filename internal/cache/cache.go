@@ -74,6 +74,11 @@ func (s Stats) String() string {
 type Snapshot struct {
 	Dir string `json:"dir"`
 	Stats
+	// Bypassed, when non-empty, explains why the attached store was not
+	// consulted for the recorded runs (e.g. "obs active": observability
+	// artifacts cannot come from a cache), so all-zero counters read as a
+	// deliberate bypass rather than a broken cache.
+	Bypassed string `json:"bypassed,omitempty"`
 }
 
 // Store is an on-disk content-addressed cache rooted at one directory.

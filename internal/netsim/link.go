@@ -296,6 +296,9 @@ func (l *Link) onTxDone(now sim.Time) {
 	l.Stats.SentPkts[p.Kind]++
 	if l.Boundary {
 		if t, ok := p.nextHop().(TxEndReceiver); ok {
+			if l.Tap != nil {
+				l.Tap.Handoff(now, p.FlowID, uint8(p.Kind), p.Size, p.Seq)
+			}
 			p.hop++
 			t.ReceiveTxEnd(now, l.Delay, p)
 			l.startTx(now)

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"eac/internal/sim"
+)
+
+func TestNewMergedGating(t *testing.T) {
+	if NewMerged(Config{}, 1, 4) != nil {
+		t.Fatal("inactive config constructed a merged set")
+	}
+	if NewMerged(Config{Enabled: true}, 1, 0) != nil {
+		t.Fatal("k=0 constructed a merged set")
+	}
+	var nilM *Merged
+	if nilM.Shards() != 0 || nilM.Enabled() || nilM.Collector(0) != nil ||
+		nilM.TraceDropped() != 0 || nilM.ShardExecuted() != nil {
+		t.Fatal("nil Merged reports state")
+	}
+	nilM.SetShardExecuted([]uint64{1}) // must not panic
+	if paths, err := nilM.Flush(); err != nil || paths != nil {
+		t.Fatalf("nil Flush = %v, %v", paths, err)
+	}
+}
+
+func TestMergedSplitsTraceCapacity(t *testing.T) {
+	m := NewMerged(Config{Enabled: true, TraceCapacity: 10}, 1, 3)
+	if m.Shards() != 3 {
+		t.Fatalf("Shards = %d", m.Shards())
+	}
+	// ceil(10/3) = 4 per shard.
+	tap := m.Collector(0).RegisterLink("L0")
+	for i := 0; i < 5; i++ {
+		tap.Enqueue(0, i, 0, 1, 0, 0)
+	}
+	if m.Collector(0).TraceLen() != 4 || m.TraceDropped() != 1 {
+		t.Fatalf("per-shard cap: len=%d dropped=%d, want 4 and 1",
+			m.Collector(0).TraceLen(), m.TraceDropped())
+	}
+}
+
+// TestMergedSeriesOrder pins the k-way merge invariant: rows ordered by
+// (time, shard), ties broken toward the lowest shard.
+func TestMergedSeriesOrder(t *testing.T) {
+	m := NewMerged(Config{Enabled: true, MetricsInterval: sim.Second}, 1, 2)
+	for i := 0; i < 2; i++ {
+		m.Collector(i).RegisterLink("L" + string(rune('0'+i)))
+	}
+	// Shard 1 samples first in wall order, but shard 0's equal timestamp
+	// must still come out first.
+	m.Collector(1).AddSample(Sample{T: 1, Link: 0, Depth: 11})
+	m.Collector(1).AddSample(Sample{T: 2, Link: 0, Depth: 12})
+	m.Collector(0).AddSample(Sample{T: 1, Link: 0, Depth: 1})
+	m.Collector(0).AddSample(Sample{T: 3, Link: 0, Depth: 3})
+	var b strings.Builder
+	if err := m.WriteSeries(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	want := []string{
+		"1.000000,0,L0,1,", "1.000000,1,L1,11,", "2.000000,1,L1,12,", "3.000000,0,L0,3,",
+	}
+	if len(lines) != 1+len(want) {
+		t.Fatalf("rows = %d, want %d", len(lines)-1, len(want))
+	}
+	for i, w := range want {
+		if !strings.HasPrefix(lines[1+i], w) {
+			t.Fatalf("row %d = %q, want prefix %q", i, lines[1+i], w)
+		}
+	}
+}
+
+// TestMergedTraceOrder pins the same invariant for the event trace, and
+// that both packet and decision events carry the shard field.
+func TestMergedTraceOrder(t *testing.T) {
+	m := NewMerged(Config{Enabled: true, TraceCapacity: 8}, 1, 2)
+	t0 := m.Collector(0).RegisterLink("A")
+	t1 := m.Collector(1).RegisterLink("B")
+	t1.Enqueue(1*sim.Second, 10, 0, 1, 0, 0)
+	t1.Enqueue(3*sim.Second, 11, 0, 1, 0, 0)
+	t0.Enqueue(1*sim.Second, 20, 0, 1, 0, 0)
+	m.Collector(0).Decision(2*sim.Second, 21, 0, true, 1, 0)
+	var b strings.Builder
+	if err := m.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	type row struct {
+		T     float64 `json:"t"`
+		Ev    string  `json:"ev"`
+		Flow  int     `json:"flow"`
+		Shard int     `json:"shard"`
+	}
+	var rows []row
+	for _, l := range lines {
+		var r row
+		if err := json.Unmarshal([]byte(l), &r); err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, r)
+	}
+	want := []row{
+		{1, "enqueue", 20, 0}, // tie at t=1: shard 0 first
+		{1, "enqueue", 10, 1},
+		{2, "admit", 21, 0},
+		{3, "enqueue", 11, 1},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("row %d = %+v, want %+v", i, rows[i], want[i])
+		}
+	}
+}
+
+// TestMergedHistMergesDelaysAcrossShards: per-class delay histograms sum
+// exactly across shards; per-link depth histograms stay per shard.
+func TestMergedHistMergesDelaysAcrossShards(t *testing.T) {
+	m := NewMerged(Config{Enabled: true}, 7, 2)
+	for i := 0; i < 2; i++ {
+		c := m.Collector(i)
+		c.RegisterClass("voice")
+		c.RegisterLink("L" + string(rune('0'+i)))
+	}
+	m.Collector(0).Delay(0, 10*sim.Millisecond)
+	m.Collector(0).Delay(0, 20*sim.Millisecond)
+	m.Collector(1).Delay(0, 40*sim.Millisecond)
+	m.SetShardExecuted([]uint64{100, 200})
+	var b strings.Builder
+	if err := m.WriteHist(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema        string   `json:"schema"`
+		Seed          uint64   `json:"seed"`
+		Shards        int      `json:"shards"`
+		ShardExecuted []uint64 `json:"shard_executed"`
+		DelayNs       []struct {
+			Class  string  `json:"class"`
+			N      int64   `json:"n"`
+			MeanNs float64 `json:"mean_ns"`
+		} `json:"delay_ns"`
+		QueueDepth []struct {
+			Link  string `json:"link"`
+			Shard int    `json:"shard"`
+		} `json:"queue_depth"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != HistSchema || doc.Seed != 7 || doc.Shards != 2 {
+		t.Fatalf("hist header = %+v", doc)
+	}
+	if len(doc.DelayNs) != 1 || doc.DelayNs[0].N != 3 {
+		t.Fatalf("delay merge = %+v, want one class with n=3", doc.DelayNs)
+	}
+	// Exact mean across shards: (10+20+40)ms / 3.
+	if want := float64(70*sim.Millisecond) / 3; doc.DelayNs[0].MeanNs != want {
+		t.Fatalf("merged mean = %v, want %v", doc.DelayNs[0].MeanNs, want)
+	}
+	if len(doc.QueueDepth) != 2 || doc.QueueDepth[0].Shard == doc.QueueDepth[1].Shard {
+		t.Fatalf("queue depth = %+v, want one entry per (link, shard)", doc.QueueDepth)
+	}
+	if len(doc.ShardExecuted) != 2 || doc.ShardExecuted[1] != 200 {
+		t.Fatalf("shard_executed = %v", doc.ShardExecuted)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"path/filepath"
 
 	"eac/internal/sim"
+	"eac/internal/stats"
 )
 
 // Config selects which telemetry a run collects and where the artifacts
@@ -60,6 +61,11 @@ type Config struct {
 	// single-seed runs; multi-seed runs must leave it empty so the
 	// per-seed default naming keeps files distinct.
 	TracePath string
+	// PerfettoPath, if set, additionally exports the probe-lifecycle
+	// spans as Chrome/Perfetto trace-event JSON to this path (open with
+	// ui.perfetto.dev or chrome://tracing). Spans ride with the event
+	// trace, so this requires TraceCapacity > 0. Single-seed runs only.
+	PerfettoPath string
 }
 
 // Active reports whether a collector should be constructed at all — any
@@ -102,6 +108,35 @@ func (c Config) TraceFile(seed uint64) string {
 	return filepath.Join(c.dir(), fmt.Sprintf("%s-s%d-trace.jsonl", c.label(), seed))
 }
 
+// SpansPath returns the probe-lifecycle span JSONL path for one seed, or
+// "" when spans are disabled. Spans ride with the event trace: they are
+// collected (and written) exactly when tracing is on.
+func (c Config) SpansPath(seed uint64) string {
+	if !c.Enabled || c.TraceCapacity <= 0 {
+		return ""
+	}
+	return filepath.Join(c.dir(), fmt.Sprintf("%s-s%d-spans.jsonl", c.label(), seed))
+}
+
+// HistPath returns the log-bucket histogram JSON path (per-class delay
+// and per-link queue-depth distributions) for one seed, or "" when the
+// collector is disabled.
+func (c Config) HistPath(seed uint64) string {
+	if !c.Enabled {
+		return ""
+	}
+	return filepath.Join(c.dir(), fmt.Sprintf("%s-s%d-hist.json", c.label(), seed))
+}
+
+// PerfettoFile returns the Perfetto export path, or "" when not
+// requested or when spans are unavailable (no trace).
+func (c Config) PerfettoFile() string {
+	if !c.Enabled || c.TraceCapacity <= 0 {
+		return ""
+	}
+	return c.PerfettoPath
+}
+
 // ManifestPath returns the run-manifest path for this configuration.
 func (c Config) ManifestPath() string {
 	return filepath.Join(c.dir(), c.label()+"-manifest.json")
@@ -111,6 +146,22 @@ func (c Config) ManifestPath() string {
 // write ("" for disabled parts).
 func (c Config) ArtifactPaths(seed uint64) (series, trace string) {
 	return c.SeriesPath(seed), c.TraceFile(seed)
+}
+
+// AllArtifactPaths returns every per-seed artifact path this
+// configuration writes, in flush order (series, trace, spans, hist),
+// skipping disabled parts. The Perfetto export is not per-seed and is
+// excluded.
+func (c Config) AllArtifactPaths(seed uint64) []string {
+	var out []string
+	for _, p := range []string{
+		c.SeriesPath(seed), c.TraceFile(seed), c.SpansPath(seed), c.HistPath(seed),
+	} {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // Sample is one time-series point for one link, filled by the producer
@@ -135,15 +186,26 @@ type Decisions struct {
 }
 
 // Collector gathers one run's telemetry. It is strictly single-run,
-// single-goroutine state — parallel seed runs each construct their own —
-// and a nil *Collector is the canonical "disabled" value.
+// single-goroutine state — parallel seed runs each construct their own,
+// and sharded runs construct one per shard domain (see Merged) — and a
+// nil *Collector is the canonical "disabled" value.
 type Collector struct {
-	cfg   Config
-	seed  uint64
-	links []string
-	sams  []Sample
-	trace ring
-	dec   Decisions
+	cfg     Config
+	seed    uint64
+	links   []string
+	classes []string
+	sams    []Sample
+	trace   ring
+	dec     Decisions
+	dur     sim.Time // run duration; clamps open spans in exports
+
+	// Log-bucket distributions (stats.LogHist: mergeable across shards).
+	delayH []stats.LogHist // per class: end-to-end data-packet delay, ns
+	depth  []stats.LogHist // per link: queue occupancy after each accepted enqueue
+
+	// Probe-lifecycle spans, one per flow, collected while tracing.
+	spans   []spanRec
+	spanIdx []int32 // flow id -> index+1 into spans (0 = no span yet)
 }
 
 // New returns a collector for cfg, or nil when cfg is fully zero. The
@@ -184,6 +246,7 @@ func (c *Collector) RegisterLink(name string) *LinkTap {
 		return nil
 	}
 	c.links = append(c.links, name)
+	c.depth = append(c.depth, stats.LogHist{})
 	return &LinkTap{c: c, link: int16(len(c.links) - 1)}
 }
 
@@ -193,6 +256,62 @@ func (c *Collector) LinkName(i int) string {
 		return ""
 	}
 	return c.links[i]
+}
+
+// RegisterClass declares one traffic class (in class-index order) so
+// delay histograms and span exports can carry class names. No-op when
+// disabled.
+func (c *Collector) RegisterClass(name string) {
+	if !c.Enabled() {
+		return
+	}
+	c.classes = append(c.classes, name)
+	c.delayH = append(c.delayH, stats.LogHist{})
+}
+
+// ClassName resolves a registered class index ("" if out of range).
+func (c *Collector) ClassName(i int) string {
+	if c == nil || i < 0 || i >= len(c.classes) {
+		return ""
+	}
+	return c.classes[i]
+}
+
+// SetDuration records the run's sim-time length; exports use it to clamp
+// spans still open at run end. No-op when disabled.
+func (c *Collector) SetDuration(d sim.Time) {
+	if c.Enabled() {
+		c.dur = d
+	}
+}
+
+// Delay records one delivered data packet's end-to-end window delay into
+// the owning class's log-bucket histogram. No-op when disabled.
+func (c *Collector) Delay(class int, d sim.Time) {
+	if c == nil || !c.cfg.Enabled {
+		return
+	}
+	if class >= 0 && class < len(c.delayH) {
+		c.delayH[class].Add(int64(d))
+	}
+}
+
+// DelayHist returns the per-class delay histograms (ns buckets), indexed
+// like RegisterClass calls. Nil when disabled.
+func (c *Collector) DelayHist() []stats.LogHist {
+	if c == nil {
+		return nil
+	}
+	return c.delayH
+}
+
+// DepthHist returns the per-link queue-depth histograms, indexed like
+// RegisterLink calls. Nil when disabled.
+func (c *Collector) DepthHist() []stats.LogHist {
+	if c == nil {
+		return nil
+	}
+	return c.depth
 }
 
 // AddSample appends one time-series point. No-op unless sampling.
@@ -230,6 +349,13 @@ func (c *Collector) Decision(now sim.Time, flow, class int, accepted bool, attem
 			at: now, ev: ev, link: -1, flow: int32(flow),
 			kind: uint8(class), a: int64(attempt), frac: float32(frac),
 		})
+		s := c.span(flow)
+		s.class = int32(class)
+		s.decided = true
+		s.accepted = accepted
+		s.decidedAt = now
+		s.attempts = int32(attempt)
+		s.frac = float32(frac)
 	}
 }
 
@@ -300,6 +426,21 @@ func (c *Collector) Flush() ([]string, error) {
 			return paths, err
 		}
 	}
+	if p := c.cfg.SpansPath(c.seed); p != "" {
+		if err := write(p, c.WriteSpans); err != nil {
+			return paths, err
+		}
+	}
+	if p := c.cfg.HistPath(c.seed); p != "" {
+		if err := write(p, c.WriteHist); err != nil {
+			return paths, err
+		}
+	}
+	if p := c.cfg.PerfettoFile(); p != "" {
+		if err := write(p, c.WritePerfetto); err != nil {
+			return paths, err
+		}
+	}
 	return paths, nil
 }
 
@@ -322,8 +463,14 @@ func (t *LinkTap) record(now sim.Time, ev uint8, flow int, kind uint8, size int,
 }
 
 // Enqueue records a packet accepted into the queue (depth = occupancy
-// after the insert).
+// after the insert). Besides the trace event, the occupancy feeds the
+// link's log-bucket depth histogram, so the distribution is captured
+// even when the trace ring has long since wrapped.
 func (t *LinkTap) Enqueue(now sim.Time, flow int, kind uint8, size int, seq int64, depth int) {
+	if t == nil {
+		return
+	}
+	t.c.depth[t.link].Add(int64(depth))
 	t.record(now, evEnqueue, flow, kind, size, seq, depth)
 }
 
@@ -341,4 +488,11 @@ func (t *LinkTap) Drop(now sim.Time, flow int, kind uint8, size int, seq int64, 
 // Mark records a virtual-queue ECN mark applied to a packet.
 func (t *LinkTap) Mark(now sim.Time, flow int, kind uint8, size int, seq int64, depth int) {
 	t.record(now, evMark, flow, kind, size, seq, depth)
+}
+
+// Handoff records a packet leaving this shard across a boundary link
+// (sharded runs only: transmission finished, the packet now belongs to
+// the neighbouring shard's portal).
+func (t *LinkTap) Handoff(now sim.Time, flow int, kind uint8, size int, seq int64) {
+	t.record(now, evHandoff, flow, kind, size, seq, 0)
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"eac/internal/cache"
 	"eac/internal/sim"
 )
 
@@ -178,14 +179,24 @@ func TestFlushWritesArtifacts(t *testing.T) {
 	tap := c.RegisterLink("L0")
 	tap.Enqueue(0, 0, 0, 100, 0, 1)
 	c.AddSample(Sample{T: 1, Link: 0})
+	c.Decision(sim.Second, 0, 0, true, 1, 0) // gives the span artifact content
 	paths, err := c.Flush()
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantSeries := filepath.Join(dir, "t-s42-series.csv")
-	wantTrace := filepath.Join(dir, "t-s42-trace.jsonl")
-	if len(paths) != 2 || paths[0] != wantSeries || paths[1] != wantTrace {
-		t.Fatalf("Flush paths = %v", paths)
+	want := []string{
+		filepath.Join(dir, "t-s42-series.csv"),
+		filepath.Join(dir, "t-s42-trace.jsonl"),
+		filepath.Join(dir, "t-s42-spans.jsonl"),
+		filepath.Join(dir, "t-s42-hist.json"),
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("Flush paths = %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("Flush paths[%d] = %q, want %q", i, paths[i], want[i])
+		}
 	}
 	for _, p := range paths {
 		if b, err := os.ReadFile(p); err != nil || len(b) == 0 {
@@ -210,6 +221,53 @@ func TestArtifactPathOverrides(t *testing.T) {
 	}
 	if got := cfg.ManifestPath(); got != filepath.Join("d", "x-manifest.json") {
 		t.Fatalf("manifest path = %q", got)
+	}
+}
+
+// TestManifestV2ShardFields pins the v2 schema additions: shard count,
+// per-seed per-shard executed counts, and the cache snapshot's bypassed
+// note — the manifest must say the artifacts could not have come from a
+// cache while observability forces a bypass.
+func TestManifestV2ShardFields(t *testing.T) {
+	if ManifestSchema != "eac/obs/manifest/v2" {
+		t.Fatalf("schema = %q; bump this pin only with a layout change", ManifestSchema)
+	}
+	m := NewManifest()
+	m.Shards = 2
+	m.ShardExecuted = map[string][]uint64{"s1": {100, 200}}
+	m.Cache = &cache.Snapshot{Dir: "/c", Bypassed: "obs active"}
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"shards": 2`,
+		`"shard_executed"`,
+		`"bypassed": "obs active"`,
+	} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("manifest JSON missing %s:\n%s", want, b)
+		}
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != 2 || got.ShardExecuted["s1"][1] != 200 || got.Cache.Bypassed != "obs active" {
+		t.Fatalf("round trip = %+v", got)
+	}
+	// Serial manifests omit the shard fields entirely (v1 compatibility).
+	m2 := NewManifest()
+	if err := m2.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ = os.ReadFile(path); strings.Contains(string(b), "shard") ||
+		strings.Contains(string(b), "bypassed") {
+		t.Fatalf("serial manifest leaked shard/bypass fields:\n%s", b)
 	}
 }
 

@@ -15,9 +15,14 @@ const (
 	evMark
 	evAdmit
 	evReject
+	// evHandoff records a packet crossing a shard boundary: transmission
+	// on a boundary link finished and the packet was handed to the
+	// neighbouring shard's portal. Serial runs never emit it. New kinds
+	// must be appended here — the order is serialized in JSONL output.
+	evHandoff
 )
 
-var evNames = [...]string{"enqueue", "dequeue", "drop", "mark", "admit", "reject"}
+var evNames = [...]string{"enqueue", "dequeue", "drop", "mark", "admit", "reject", "handoff"}
 
 // traceRec is the compact in-ring representation of one event. Packet
 // events use link/kind/a(size)/b(seq)/depth; admission decisions use
@@ -99,6 +104,24 @@ func (c *Collector) TraceDropped() int64 {
 	return c.trace.dropped
 }
 
+// traceEvent builds the JSONL form of one buffered record.
+func (c *Collector) traceEvent(rec traceRec) any {
+	if rec.ev == evAdmit || rec.ev == evReject {
+		return decisionEvent{
+			T: rec.at.Sec(), Ev: evNames[rec.ev], Flow: rec.flow,
+			Class: int(rec.kind), Attempt: rec.a, Frac: float64(rec.frac),
+		}
+	}
+	kind := "data"
+	if int(rec.kind) < len(pktKindNames) {
+		kind = pktKindNames[rec.kind]
+	}
+	return packetEvent{
+		T: rec.at.Sec(), Ev: evNames[rec.ev], Link: c.LinkName(int(rec.link)),
+		Flow: rec.flow, Kind: kind, Size: rec.a, Seq: rec.b, Depth: rec.depth,
+	}
+}
+
 // WriteTrace renders the buffered events, oldest first, as JSONL — one
 // JSON object per line. Packet events carry link/kind/size/seq/depth;
 // admit/reject events carry class/attempt/frac.
@@ -108,24 +131,7 @@ func (c *Collector) WriteTrace(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	for i := 0; i < c.trace.n; i++ {
-		rec := c.trace.at(i)
-		var v any
-		if rec.ev == evAdmit || rec.ev == evReject {
-			v = decisionEvent{
-				T: rec.at.Sec(), Ev: evNames[rec.ev], Flow: rec.flow,
-				Class: int(rec.kind), Attempt: rec.a, Frac: float64(rec.frac),
-			}
-		} else {
-			kind := "data"
-			if int(rec.kind) < len(pktKindNames) {
-				kind = pktKindNames[rec.kind]
-			}
-			v = packetEvent{
-				T: rec.at.Sec(), Ev: evNames[rec.ev], Link: c.LinkName(int(rec.link)),
-				Flow: rec.flow, Kind: kind, Size: rec.a, Seq: rec.b, Depth: rec.depth,
-			}
-		}
-		if err := enc.Encode(v); err != nil {
+		if err := enc.Encode(c.traceEvent(c.trace.at(i))); err != nil {
 			return err
 		}
 	}

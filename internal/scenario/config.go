@@ -285,9 +285,6 @@ func (c Config) Validate() error {
 		if c.Method != EAC && c.Method != None {
 			return fmt.Errorf("scenario: sharding requires method EAC or none (%s reads router state across shards)", c.Method)
 		}
-		if c.Obs.Active() {
-			return fmt.Errorf("scenario: sharding is incompatible with observability")
-		}
 		if _, err := planShards(&c, k); err != nil {
 			return err
 		}

@@ -304,7 +304,7 @@ func (r *Runner) newFlow(class int) *flowState {
 		r.freeFlows = r.freeFlows[:n-1]
 	} else {
 		f = &flowState{}
-		f.stopEv = sim.NewEvent(func(sim.Time) { r.stopFlow(f) })
+		f.stopEv = sim.NewEvent(func(at sim.Time) { r.stopFlow(at, f) })
 	}
 	f.id = len(r.flows)
 	f.class = class
@@ -314,10 +314,11 @@ func (r *Runner) newFlow(class int) *flowState {
 }
 
 // stopFlow ends a flow's data phase (its lifetime expired).
-func (r *Runner) stopFlow(f *flowState) {
+func (r *Runner) stopFlow(now sim.Time, f *flowState) {
 	f.src.Stop()
 	f.active = false
 	r.activeFlows--
+	r.obs.SpanDataEnd(now, f.id)
 }
 
 // onLinkDrop is every link's drop hook: it books the loss against the
@@ -336,6 +337,10 @@ func (r *Runner) onLinkDrop(now sim.Time, p *netsim.Packet) {
 // NewRunner from Config.Obs; exposed so tests can inject a
 // constructed-but-disabled collector). Must be called before Run. A nil
 // or disabled collector leaves every hot path untouched.
+//
+// Sharded runs attach one collector per shard runner; their link taps
+// are wired by the shard executor (a shard runner owns no links — see
+// shardExec.wireObs), so the loop below is a no-op there.
 func (r *Runner) Observe(c *obs.Collector) {
 	r.obs = c
 	if !c.Enabled() {
@@ -344,6 +349,10 @@ func (r *Runner) Observe(c *obs.Collector) {
 	for _, l := range r.links {
 		l.Tap = c.RegisterLink(l.Name)
 	}
+	for _, cl := range r.cfg.Classes {
+		c.RegisterClass(cl.Name)
+	}
+	c.SetDuration(r.cfg.Duration)
 }
 
 func linkName(i int) string { return fmt.Sprintf("L%d", i) }
@@ -356,32 +365,42 @@ func (r *Runner) Run() Metrics {
 			l.Stats.Reset(now)
 		}
 	})
-	if r.obs.Sampling() {
-		// Periodic per-queue sampling. The event only reads simulator
-		// state, so enabling it does not perturb the simulated dynamics.
-		r.lastBits = make([]int64, len(r.links))
-		iv := r.obs.Interval()
-		var ev *sim.Event
-		ev = sim.NewEvent(func(now sim.Time) {
-			r.sampleObs(now)
-			if now+iv <= r.cfg.Duration {
-				r.s.Schedule(ev, now+iv)
-			}
-		})
-		r.s.Schedule(ev, iv)
-	}
+	r.startObsSampling(r.links)
 	r.prepopulate()
 	r.scheduleNextArrival(0)
 	r.s.Run(r.cfg.Duration)
 	return r.metrics()
 }
 
+// startObsSampling schedules the periodic per-queue sampling event over
+// the given links — the runner's own on the serial path, the owning
+// shard's on the sharded path. The event only reads simulator state, so
+// enabling it does not perturb the simulated dynamics.
+func (r *Runner) startObsSampling(links []*netsim.Link) {
+	if !r.obs.Sampling() {
+		return
+	}
+	r.lastBits = make([]int64, len(links))
+	iv := r.obs.Interval()
+	var ev *sim.Event
+	ev = sim.NewEvent(func(now sim.Time) {
+		r.sampleObs(now, links)
+		if now+iv <= r.cfg.Duration {
+			r.s.Schedule(ev, now+iv)
+		}
+	})
+	r.s.Schedule(ev, iv)
+}
+
 // sampleObs appends one time-series point per link: queue depth,
 // utilization over the elapsed interval, cumulative counters, shadow
-// backlog, and the active-flow count.
-func (r *Runner) sampleObs(now sim.Time) {
+// backlog, and the active-flow count. The link index recorded in each
+// sample is the position in links, which matches the collector's
+// RegisterLink order (global on the serial path, per-shard on the
+// sharded path).
+func (r *Runner) sampleObs(now sim.Time, links []*netsim.Link) {
 	dt := (now - r.lastSample).Sec()
-	for i, l := range r.links {
+	for i, l := range links {
 		bits := l.Stats.SentBits[netsim.Data]
 		if bits < r.lastBits[i] {
 			r.lastBits[i] = 0 // counters were reset at the warmup boundary
@@ -574,6 +593,7 @@ func (r *Runner) startProbe(now sim.Time, f *flowState) {
 	} else {
 		f.prober.Reinit(ac, f.id, cl.Preset.TokenRate, cl.Preset.PktSize, f.route, f.probeDone)
 	}
+	r.obs.SpanProbeStart(now, f.id, f.class)
 	f.prober.Start(now)
 }
 
@@ -608,6 +628,7 @@ func (r *Runner) startData(now sim.Time, f *flowState) {
 	f.src = cl.Preset.New(r.s, r.rngSrc, f.emitFn)
 	f.src.Start(now)
 	r.activeFlows++
+	r.obs.SpanDataStart(now, f.id, f.class)
 	life := sim.Seconds(r.rngLife.Exp(r.cfg.LifetimeSec))
 	r.s.Schedule(f.stopEv, now+life)
 }
@@ -653,6 +674,7 @@ func (k *sinkRecv) Receive(now sim.Time, p *netsim.Packet) {
 				ms = len(r.delayHist) - 1
 			}
 			r.delayHist[ms]++
+			r.obs.Delay(p.Class, d)
 		}
 	}
 	r.pool.Put(p)
@@ -752,6 +774,9 @@ func Run(cfg Config) (Metrics, error) {
 			return Metrics{}, err
 		}
 		m = e.run()
+		if _, err := e.flushObs(); err != nil {
+			return m, err
+		}
 		cachePut(cfg, key, m)
 		return m, nil
 	}
@@ -778,25 +803,53 @@ func RunSeeds(cfg Config, seeds []uint64) (MultiMetrics, error) {
 // per-seed Metrics are aggregated in seed order, so the MultiMetrics is
 // bitwise-identical for every worker count; only wall-clock time changes.
 func RunSeedsParallel(cfg Config, seeds []uint64, workers int) (MultiMetrics, error) {
+	mm, _, err := RunSeedsObserved(cfg, seeds, workers)
+	return mm, err
+}
+
+// RunRecord describes one completed run beyond its Metrics: where it
+// came from and, for sharded runs, how the event load split. Metrics
+// itself stays shard-free — the record is a side channel, so aggregate
+// results (and their cache entries) are bitwise-identical whether or not
+// anyone asked for records.
+type RunRecord struct {
+	// Seed is the run's resolved seed.
+	Seed uint64
+	// Shards is the shard count the run executed with (1 = serial).
+	Shards int
+	// ShardExecuted holds each shard's executed-event count, indexed by
+	// shard (a serial run reports one entry). Nil for cached results —
+	// the events were executed in some earlier process.
+	ShardExecuted []uint64
+	// Cached reports whether the result came from the result cache.
+	Cached bool
+}
+
+// RunSeedsObserved is RunSeedsParallel returning, additionally, one
+// RunRecord per seed (in seed order). The metrics are computed exactly
+// as RunSeedsParallel computes them.
+func RunSeedsObserved(cfg Config, seeds []uint64, workers int) (MultiMetrics, []RunRecord, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(seeds) {
 		workers = len(seeds)
 	}
+	recs := make([]RunRecord, len(seeds))
 	if workers <= 1 {
 		ws := NewWorkspace()
 		runs := make([]Metrics, 0, len(seeds))
-		for _, sd := range seeds {
+		for i, sd := range seeds {
 			c := cfg
 			c.Seed = sd
-			m, err := ws.Run(c)
+			m, rec, err := ws.RunRecorded(c)
 			if err != nil {
-				return MultiMetrics{}, err
+				return MultiMetrics{}, nil, err
 			}
 			runs = append(runs, m)
+			recs[i] = rec
 		}
-		return Aggregate(runs), nil
+		return Aggregate(runs), recs, nil
 	}
 	runs := make([]Metrics, len(seeds))
 	errs := make([]error, len(seeds))
@@ -818,17 +871,17 @@ func RunSeedsParallel(cfg Config, seeds []uint64, workers int) (MultiMetrics, er
 				}
 				c := cfg
 				c.Seed = seeds[i]
-				runs[i], errs[i] = ws.Run(c)
+				runs[i], recs[i], errs[i] = ws.RunRecorded(c)
 			}
 		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return MultiMetrics{}, err
+			return MultiMetrics{}, nil, err
 		}
 	}
-	return Aggregate(runs), nil
+	return Aggregate(runs), recs, nil
 }
 
 // DefaultSeeds returns n deterministic seeds.

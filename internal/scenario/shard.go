@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"eac/internal/netsim"
+	"eac/internal/obs"
 	"eac/internal/sim"
 	"eac/internal/sim/shard"
 	"eac/internal/stats"
@@ -56,10 +57,11 @@ func AutoShards(cfg Config) int {
 // ShardableK clamps a requested shard count to what cfg supports: at most
 // one shard per link, only for methods whose admission state is shard-local
 // (EAC probing and no admission control; MBAC and Passive read router
-// estimators across the whole path), never with observability active, and
-// only when every boundary link has positive propagation delay (the
-// conservative lookahead). Returns 1 — the serial path — when sharding
-// does not apply.
+// estimators across the whole path), and only when every boundary link has
+// positive propagation delay (the conservative lookahead). Observability
+// composes with sharding: each shard gets its own collector and the
+// artifacts are merged at run end (see obs.Merged). Returns 1 — the
+// serial path — when sharding does not apply.
 func ShardableK(cfg Config, k int) int {
 	cfg = cfg.WithDefaults()
 	if k > len(cfg.Links) {
@@ -69,9 +71,6 @@ func ShardableK(cfg Config, k int) int {
 		return 1
 	}
 	if cfg.Method != EAC && cfg.Method != None {
-		return 1
-	}
-	if cfg.Obs.Active() {
 		return 1
 	}
 	if _, err := planShards(&cfg, k); err != nil {
@@ -209,6 +208,12 @@ type shardExec struct {
 	slots []*shardSlot
 	links []*netsim.Link      // global link list, indexed like cfg.Links
 	tmpl  [][]netsim.Receiver // per-class route templates
+
+	// obs is the merged per-shard collector set (nil/inert unless
+	// Config.Obs is active). Each shard's collector is owned by that
+	// shard's goroutine during the run; the barrier at run end publishes
+	// them for merging.
+	obs *obs.Merged
 }
 
 // shardStream derives a per-shard RNG stream: distinct labels per shard
@@ -279,8 +284,34 @@ func newShardExec(cfg Config, k int) (*shardExec, error) {
 		sl.links = append(sl.links, l)
 	}
 	e.buildTemplates()
+	e.wireObs()
 	return e, nil
 }
+
+// wireObs builds the per-shard collector set and attaches it: one
+// collector per slot runner (classes and duration registered by
+// Runner.Observe) and one link tap per link, registered on the owning
+// shard's collector in ascending global link order — which is also each
+// slot's links order, so per-shard link indices in samples and trace
+// events line up with the collector's registry. No-op when Config.Obs is
+// inactive: e.obs stays nil, every runner keeps its nil collector, and
+// taps stay nil, preserving the sharded path's zero-overhead contract.
+func (e *shardExec) wireObs() {
+	if !e.cfg.Obs.Active() {
+		return
+	}
+	e.obs = obs.NewMerged(e.cfg.Obs, e.cfg.Seed, e.k)
+	for i, sl := range e.slots {
+		sl.r.Observe(e.obs.Collector(i))
+	}
+	for i, l := range e.links {
+		l.Tap = e.obs.Collector(e.plan.shardOf[i]).RegisterLink(l.Name)
+	}
+}
+
+// flushObs writes the merged artifacts of a completed sharded run and
+// returns their paths. No-op without an enabled collector set.
+func (e *shardExec) flushObs() ([]string, error) { return e.obs.Flush() }
 
 // applyWeights recomputes the per-slot class ownership weights, thinned
 // arrival means, and template index from cfg (also used on reset, where
@@ -393,6 +424,8 @@ func (e *shardExec) reset(cfg Config) {
 			r.classes[i] = ClassMetrics{Name: cfg.Classes[i].Name}
 		}
 		r.decided, r.retries = 0, 0
+		r.obs = nil
+		r.activeFlows, r.lastSample = 0, 0
 		r.delayStats = stats.Welford{}
 		r.delayHist = [1001]int64{}
 		for c := range sl.dropWin {
@@ -416,6 +449,8 @@ func (e *shardExec) reset(cfg Config) {
 		l.OnDrop = sl.onDrop
 		l.Boundary = e.plan.boundary[i]
 	}
+	e.obs = nil
+	e.wireObs()
 }
 
 // run executes the sharded scenario and merges the per-shard metrics.
@@ -428,12 +463,14 @@ func (e *shardExec) run() Metrics {
 				l.Stats.Reset(now)
 			}
 		})
+		r.startObsSampling(owned)
 		r.prepopulate()
 		if sl.ownedW > 0 {
 			r.scheduleNextArrival(0)
 		}
 	}
 	e.ex.Run(e.cfg.Duration)
+	e.obs.SetShardExecuted(e.executed())
 	return e.metrics()
 }
 

@@ -27,13 +27,24 @@ func NewWorkspace() *Workspace { return &Workspace{} }
 // (with its own reuse seam, one Workspace per shard set); all others take
 // the byte-identical serial path.
 func (ws *Workspace) Run(cfg Config) (Metrics, error) {
+	m, _, err := ws.RunRecorded(cfg)
+	return m, err
+}
+
+// RunRecorded is Run returning, additionally, a RunRecord describing the
+// run (seed, shard count, per-shard executed-event counts, cache hit).
+// The Metrics are computed exactly as Run computes them.
+func (ws *Workspace) RunRecorded(cfg Config) (Metrics, RunRecord, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
-		return Metrics{}, err
+		return Metrics{}, RunRecord{}, err
 	}
+	rec := RunRecord{Seed: cfg.Seed, Shards: 1}
 	key, m, ok := cacheGet(cfg)
 	if ok {
-		return m, nil
+		rec.Cached = true
+		rec.Shards = effectiveShards(cfg)
+		return m, rec, nil
 	}
 	if k := effectiveShards(cfg); k > 1 {
 		if ws.sx != nil && ws.sx.canReuse(cfg, k) {
@@ -41,13 +52,17 @@ func (ws *Workspace) Run(cfg Config) (Metrics, error) {
 		} else {
 			sx, err := newShardExec(cfg, k)
 			if err != nil {
-				return Metrics{}, err
+				return Metrics{}, rec, err
 			}
 			ws.sx = sx
 		}
 		m = ws.sx.run()
+		rec.Shards, rec.ShardExecuted = k, ws.sx.executed()
+		if _, err := ws.sx.flushObs(); err != nil {
+			return m, rec, err
+		}
 		cachePut(cfg, key, m)
-		return m, nil
+		return m, rec, nil
 	}
 	if ws.r != nil && ws.r.canReuse(cfg) {
 		ws.r.reset(cfg)
@@ -55,11 +70,12 @@ func (ws *Workspace) Run(cfg Config) (Metrics, error) {
 		ws.r = newRunner(cfg)
 	}
 	m = ws.r.Run()
+	rec.ShardExecuted = []uint64{ws.r.Sim().Executed()}
 	if _, err := ws.r.FlushObs(); err != nil {
-		return m, err
+		return m, rec, err
 	}
 	cachePut(cfg, key, m)
-	return m, nil
+	return m, rec, nil
 }
 
 // ShardExecuted returns the per-shard executed-event counts of the most

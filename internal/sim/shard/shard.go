@@ -129,6 +129,17 @@ func (x *Exec[P]) K() int { return len(x.shards) }
 // Shard returns shard i.
 func (x *Exec[P]) Shard(i int) *Shard[P] { return x.shards[i] }
 
+// Executed returns each shard simulator's cumulative executed-event
+// count, indexed by shard. Call between Run windows or after Run — not
+// while workers are inside a window.
+func (x *Exec[P]) Executed() []uint64 {
+	out := make([]uint64, len(x.shards))
+	for i, sh := range x.shards {
+		out[i] = sh.Sim.Executed()
+	}
+	return out
+}
+
 // Run advances every shard to until. Shards execute concurrently within a
 // window on persistent per-shard worker goroutines; the coordinator
 // exchanges staged messages at each barrier. The first window is the

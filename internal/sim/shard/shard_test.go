@@ -145,3 +145,33 @@ func TestSingleShardDegenerate(t *testing.T) {
 		t.Fatalf("now=%v", now)
 	}
 }
+
+// TestExecutedPerShard: Executed() reports each shard's own event count
+// after a run — the load-balance evidence the observability layer records
+// in the histogram artifact and run manifest.
+func TestExecutedPerShard(t *testing.T) {
+	x, _ := buildBounce(3, 10, 15)
+	sh0 := x.Shard(0)
+	sh0.Sim.Call(0, func(now sim.Time) { sh0.Send(1, now+15, ball{hops: 5, id: 1}) })
+	x.Run(200)
+	exec := x.Executed()
+	if len(exec) != 3 {
+		t.Fatalf("Executed() length = %d, want 3", len(exec))
+	}
+	var total uint64
+	for i, n := range exec {
+		if n == 0 {
+			t.Errorf("shard %d executed 0 events", i)
+		}
+		total += n
+	}
+	// The counts must match each shard simulator's own tally.
+	for i := 0; i < 3; i++ {
+		if exec[i] != x.Shard(i).Sim.Executed() {
+			t.Errorf("shard %d: Executed()=%d, Sim reports %d", i, exec[i], x.Shard(i).Sim.Executed())
+		}
+	}
+	if total < 6 {
+		t.Errorf("total executed = %d, want at least the 6 ball deliveries", total)
+	}
+}
