@@ -1,7 +1,7 @@
 # Tier-1 flow: `make ci` is what a checkin must keep green.
 GO ?= go
 
-.PHONY: build test race vet bench bench-hotpath bench-grid bench-shard bench-check cache-clear cover ci conformance update-golden fuzz-smoke
+.PHONY: build test race vet bench bench-hotpath bench-grid bench-shard bench-policy bench-check cache-clear cover ci conformance update-golden fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,16 @@ bench-grid:
 bench-shard:
 	$(GO) test -run '^$$' -bench BenchmarkShard -benchmem -benchtime 3x -timeout 30m .
 
+# bench-policy measures the admission-policy layer on the basic
+# bottleneck scenario: one full single-seed run per iteration under the
+# static default, the token-bucket rate limiter, and the epoch-adaptive
+# policy. The static row is the regression gate for the policy-layer
+# indirection (its output is byte-identical to the pre-policy path).
+# Rewrites results/BENCH_policy.json and appends headline records to
+# results/BENCH_index.json.
+bench-policy:
+	$(GO) test -run '^$$' -bench BenchmarkPolicy -benchmem -benchtime 3x -timeout 30m .
+
 # bench-check is the regression gate over results/BENCH_index.json: the
 # newest entry of each (benchmark, metric) series is compared against its
 # predecessor under per-series tolerances (baseline-normalized where a
@@ -101,6 +111,7 @@ fuzz-smoke:
 	$(GO) test ./internal/netsim -run '^$$' -fuzz '^FuzzRED$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/netsim -run '^$$' -fuzz '^FuzzVirtualQueue$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/admission -run '^$$' -fuzz '^FuzzProbeLossFraction$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/admission -run '^$$' -fuzz '^FuzzEpochAdaptive$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stats -run '^$$' -fuzz '^FuzzWelford$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stats -run '^$$' -fuzz '^FuzzWindowMax$$' -fuzztime $(FUZZTIME)
 

@@ -86,6 +86,24 @@ func main() {
 		useRED   = flag.Bool("red", false, "use a RED queue instead of drop-tail (in-band designs only)")
 		retries  = flag.Int("retries", 0, "max admission retries with exponential back-off")
 
+		// Admission policy layer (EAC only; see README "Admission policies").
+		policy     = flag.String("policy", "static", "admission policy: static, always-admit, never-admit, token-bucket, epoch-adaptive")
+		bucketCap  = flag.Float64("policy.bucket-cap", 0, "token-bucket: capacity in admission tokens (0 = default 10)")
+		bucketRate = flag.Float64("policy.bucket-rate", 0, "token-bucket: refill rate, tokens/s (0 = default 0.5)")
+		bucketCost = flag.Float64("policy.bucket-cost", 0, "token-bucket: tokens per admission (0 = default 1)")
+		epochN     = flag.Int("policy.epoch", 0, "epoch-adaptive: probes per adaptation epoch (0 = default 50)")
+		epsMin     = flag.Float64("policy.eps-min", 0, "epoch-adaptive: lower eps clamp (0 = default 0.001)")
+		epsMax     = flag.Float64("policy.eps-max", 0, "epoch-adaptive: upper eps clamp (0 = default 0.1)")
+		epsStep    = flag.Float64("policy.step", 0, "epoch-adaptive: multiplicative eps step in [0,1) (0 = default 0.25)")
+		targetLoss = flag.Float64("policy.target-loss", 0, "epoch-adaptive: post-admission loss setpoint (0 = default 0.01)")
+		adaptProbe = flag.Bool("policy.adapt-probe", false, "epoch-adaptive: also adapt the probe duration")
+
+		// Nonstationary load modulation (see README "Admission policies").
+		loadPeriod = flag.Float64("load.period", 0, "on/off arrival modulation period, seconds (0 = stationary)")
+		loadOnFrac = flag.Float64("load.on-fraction", 0, "fraction of each period in the on phase (0 = default 0.5)")
+		loadOnF    = flag.Float64("load.on-factor", 0, "arrival-rate factor in the on phase (0 = default 2)")
+		loadOffF   = flag.Float64("load.off-factor", 0, "arrival-rate factor in the off phase (default 0 = silent)")
+
 		// Result cache (see README "Result cache").
 		useCache = flag.Bool("cache", false, "serve repeated runs from the content-addressed result cache")
 		cacheDir = flag.String("cache-dir", "", "result cache directory (implies -cache; default $EAC_CACHE_DIR or the user cache dir)")
@@ -131,6 +149,12 @@ func main() {
 	if *useRED {
 		cfg.Queue = scenario.QueueRED
 	}
+	if *loadPeriod > 0 {
+		cfg.Load = scenario.LoadSpec{
+			PeriodSec: *loadPeriod, OnFraction: *loadOnFrac,
+			OnFactor: *loadOnF, OffFactor: *loadOffF,
+		}
+	}
 	switch *method {
 	case "eac":
 		d, err := parseDesign(*design)
@@ -143,6 +167,16 @@ func main() {
 		}
 		cfg.Method = scenario.EAC
 		cfg.AC = admission.Config{Design: d, Kind: k, Eps: *eps, ProbeDur: sim.Seconds(*probeDur)}
+		pk, err := admission.ParsePolicyKind(*policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Policy = admission.PolicyConfig{
+			Kind:      pk,
+			BucketCap: *bucketCap, BucketRate: *bucketRate, BucketCost: *bucketCost,
+			Epoch: *epochN, EpsMin: *epsMin, EpsMax: *epsMax,
+			Step: *epsStep, TargetLoss: *targetLoss, AdaptProbe: *adaptProbe,
+		}
 	case "mbac":
 		cfg.Method = scenario.MBAC
 		cfg.MS.Target = *target
@@ -232,6 +266,13 @@ func main() {
 			"red": *useRED, "retries": *retries,
 			"metrics_interval_s": *mInterval, "trace_cap": *traceCap,
 			"topology": *topology, "shards": cfg.Shards,
+			"policy": cfg.Policy.Kind.String(),
+		}
+		if cfg.Load.Active() {
+			man.Config["load_period_s"] = cfg.Load.PeriodSec
+			man.Config["load_on_fraction"] = cfg.Load.OnFraction
+			man.Config["load_on_factor"] = cfg.Load.OnFactor
+			man.Config["load_off_factor"] = cfg.Load.OffFactor
 		}
 		man.Summary = map[string]any{
 			"utilization": m.Utilization, "util_stderr": mm.UtilStderr,
@@ -278,6 +319,12 @@ func main() {
 	}
 	if cfg.Method == scenario.EAC {
 		fmt.Printf("design   : %s, %s probing, eps=%.3g\n", cfg.AC.Design, cfg.AC.Kind, *eps)
+		if cfg.Policy.Kind != admission.PolicyStatic {
+			fmt.Printf("policy   : %s\n", cfg.Policy.Kind)
+		}
+	}
+	if cfg.Load.Active() {
+		fmt.Printf("load     : on/off modulation, period=%.3gs\n", cfg.Load.PeriodSec)
 	}
 	fmt.Printf("util     : %.4f (+/- %.4f across seeds)\n", m.Utilization, mm.UtilStderr)
 	fmt.Printf("loss     : %.3e (+/- %.1e)\n", m.DataLossProb, mm.LossStderr)

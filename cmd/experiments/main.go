@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"eac/internal/admission"
 	"eac/internal/cache"
 	"eac/internal/experiments"
 	"eac/internal/obs"
@@ -43,6 +44,7 @@ func main() {
 		outDir   = flag.String("out", "results", "directory for CSV output (empty = no files)")
 		verbose  = flag.Bool("v", false, "log every completed run")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+		policy   = flag.String("policy", "", "override the admission policy of every EAC run that does not sweep policies itself: static, always-admit, never-admit, token-bucket, epoch-adaptive (empty = per-experiment default)")
 
 		// Result cache (see README "Result cache").
 		useCache   = flag.Bool("cache", false, "serve repeated runs from the content-addressed result cache")
@@ -102,6 +104,15 @@ func main() {
 		log.Fatalf("-shards must be >= 0, got %d", *shards)
 	}
 	opts.Cache = store
+	if *policy != "" {
+		pk, err := admission.ParsePolicyKind(*policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pk != admission.PolicyStatic {
+			opts.Policy = admission.PolicyConfig{Kind: pk}
+		}
+	}
 	if *verbose {
 		opts.Progress = func(format string, args ...any) { log.Printf(format, args...) }
 	}
@@ -186,6 +197,9 @@ func main() {
 					"quick":      !*paper,
 					"duration_s": opts.RunDuration().Sec(),
 					"warmup_s":   opts.RunWarmup().Sec(),
+				}
+				if *policy != "" {
+					man.Config["policy"] = *policy
 				}
 				man.Summary = map[string]any{"rows": len(tbl.Rows)}
 				man.Artifacts = []string{ex.ID + ".csv"}

@@ -141,6 +141,35 @@ const (
 	SlowStart   = admission.SlowStart
 )
 
+// Admission policy layer (see DESIGN.md §5): the accept/reject decision
+// and probe-parameter choice behind Config.Policy.
+type (
+	// PolicyConfig selects and parameterizes the admission policy of an
+	// EAC scenario. The zero value is the classic static-ε prober,
+	// byte-identical to runs that predate the policy layer.
+	PolicyConfig = admission.PolicyConfig
+	// PolicyKind enumerates the built-in policies.
+	PolicyKind = admission.PolicyKind
+	// Policy is the pluggable decision interface itself.
+	Policy = admission.Policy
+	// LoadSpec modulates flow arrivals with a periodic on/off pattern
+	// (nonstationary load; zero value means stationary arrivals).
+	LoadSpec = scenario.LoadSpec
+)
+
+// Built-in admission policies.
+const (
+	PolicyStatic        = admission.PolicyStatic
+	PolicyAlwaysAdmit   = admission.PolicyAlwaysAdmit
+	PolicyNeverAdmit    = admission.PolicyNeverAdmit
+	PolicyTokenBucket   = admission.PolicyTokenBucket
+	PolicyEpochAdaptive = admission.PolicyEpochAdaptive
+)
+
+// ParsePolicyKind resolves a policy name ("static", "always-admit",
+// "never-admit", "token-bucket", "epoch-adaptive") to its kind.
+func ParsePolicyKind(s string) (PolicyKind, error) { return admission.ParsePolicyKind(s) }
+
 // Traffic source presets of Table 1.
 var (
 	EXP1     = trafgen.EXP1

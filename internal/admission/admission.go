@@ -184,6 +184,11 @@ type Result struct {
 	Sent, Lost, Marked int64
 	// Elapsed is how long the host probed before deciding.
 	Elapsed sim.Time
+	// StageFracs holds the measured bad-packet fraction of every stage
+	// that sent at least one packet — including on an early reject, where
+	// Fraction alone only reports the deciding stage. The slice is owned
+	// by the Prober and valid until its next Reinit or Start.
+	StageFracs []float64
 }
 
 // Prober runs the endpoint admission control handshake for one flow. The
@@ -210,6 +215,7 @@ type Prober struct {
 	gaps       []int64    // losses discovered by sequence gaps
 	expect     []int64    // next expected per-stage sequence
 	stageStart []sim.Time // when each stage began sending
+	stageFracs []float64  // Result.StageFracs buffer, reused across attempts
 
 	checkEv  *sim.Event // periodic early-stop check
 	stageEv  *sim.Event // end of the currently sending stage
@@ -253,6 +259,10 @@ func (p *Prober) Reinit(cfg Config, flowID int, r float64, pktSize int, route []
 	for i := range p.stageStart {
 		p.stageStart[i] = 0
 	}
+	if cap(p.stageFracs) < n {
+		p.stageFracs = make([]float64, 0, n)
+	}
+	p.stageFracs = p.stageFracs[:0]
 	p.cbr.Reinit(p.rates[0], pktSize)
 	p.stage, p.started, p.finished = 0, 0, false
 }
@@ -461,11 +471,16 @@ func (p *Prober) finish(now sim.Time, r Result) {
 	p.cbr.Stop()
 	p.s.Cancel(p.checkEv)
 	p.s.Cancel(p.stageEv)
+	p.stageFracs = p.stageFracs[:0]
 	for i := range p.sent {
 		r.Sent += p.sent[i]
 		r.Marked += p.marked[i]
 		r.Lost += p.sent[i] - p.recv[i]
+		if p.sent[i] > 0 {
+			p.stageFracs = append(p.stageFracs, p.fraction(i))
+		}
 	}
+	r.StageFracs = p.stageFracs
 	r.Elapsed = now - p.started
 	p.done(r)
 }

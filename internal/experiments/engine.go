@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"eac/internal/admission"
 	"eac/internal/scenario"
 )
 
@@ -149,6 +150,10 @@ func (o Options) runJobs(jobs []Job) error {
 			c.Cache = o.Cache
 			if o.Shards > 1 {
 				c.Shards = scenario.ShardableK(c, o.Shards)
+			}
+			if o.Policy != (admission.PolicyConfig{}) && c.Method == scenario.EAC &&
+				c.Policy == (admission.PolicyConfig{}) {
+				c.Policy = o.Policy
 			}
 			if o.Obs.Active() {
 				// Per-run observability: every run gets its own

@@ -85,6 +85,11 @@ type Options struct {
 	// Obs.TracePath must stay empty here — per-run naming keeps the
 	// artifacts of concurrent runs distinct.
 	Obs obs.Config
+	// Policy, when non-zero, overrides the admission policy of every EAC
+	// sweep run whose job did not set one itself (scenario.Config.Policy):
+	// the -policy command-line flag threads through here. Jobs that sweep
+	// policies explicitly (the policy experiments) are left untouched.
+	Policy admission.PolicyConfig
 }
 
 // Quick returns quick-mode options.

@@ -26,6 +26,8 @@ func All() []Experiment {
 		{"table5", "Multi-hop loss", Table5},
 		{"table6", "Multi-hop blocking", Table6},
 		{"figure11", "TCP coexistence", Figure11},
+		{"policy_sweep", "Per-policy loss-load sweep", PolicySweep},
+		{"policy_thrash", "Policy thrashing resistance under on/off load", PolicyThrash},
 	}
 }
 

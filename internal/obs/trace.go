@@ -20,9 +20,14 @@ const (
 	// neighbouring shard's portal. Serial runs never emit it. New kinds
 	// must be appended here — the order is serialized in JSONL output.
 	evHandoff
+	// evEpoch records one completed adaptation epoch of the
+	// epoch-adaptive admission policy: the ε and probe duration now in
+	// force plus the epoch's rejection and loss rates. Static-policy runs
+	// never emit it.
+	evEpoch
 )
 
-var evNames = [...]string{"enqueue", "dequeue", "drop", "mark", "admit", "reject", "handoff"}
+var evNames = [...]string{"enqueue", "dequeue", "drop", "mark", "admit", "reject", "handoff", "epoch"}
 
 // traceRec is the compact in-ring representation of one event. Packet
 // events use link/kind/a(size)/b(seq)/depth; admission decisions use
@@ -86,7 +91,34 @@ type decisionEvent struct {
 	Frac    float64 `json:"frac"`
 }
 
+// epochEvent is the JSONL form of a policy adaptation epoch.
+type epochEvent struct {
+	T          float64 `json:"t"`
+	Ev         string  `json:"ev"`
+	Epoch      int32   `json:"epoch"`
+	Eps        float64 `json:"eps"`
+	ProbeMs    float64 `json:"probe_ms"`
+	RejectRate float64 `json:"reject_rate"`
+	LossRate   float64 `json:"loss_rate"`
+}
+
 var pktKindNames = [...]string{"data", "probe"}
+
+// Epoch records one completed adaptation epoch of an adaptive admission
+// policy in the event trace: the ε trajectory becomes a per-run series of
+// epoch events. Rates are scaled to parts-per-million in the compact ring
+// record and restored on output. Nil-safe; a no-op unless tracing.
+func (c *Collector) Epoch(now sim.Time, epoch int, eps float64, probeDur sim.Time, rejRate, lossRate float64) {
+	if !c.Tracing() {
+		return
+	}
+	c.trace.push(traceRec{
+		at: now, ev: evEpoch, link: -1, flow: int32(epoch),
+		depth: int32(probeDur / sim.Millisecond),
+		a:     int64(rejRate * 1e6), b: int64(lossRate * 1e6),
+		frac: float32(eps),
+	})
+}
 
 // TraceLen returns the number of buffered trace events.
 func (c *Collector) TraceLen() int {
@@ -110,6 +142,13 @@ func (c *Collector) traceEvent(rec traceRec) any {
 		return decisionEvent{
 			T: rec.at.Sec(), Ev: evNames[rec.ev], Flow: rec.flow,
 			Class: int(rec.kind), Attempt: rec.a, Frac: float64(rec.frac),
+		}
+	}
+	if rec.ev == evEpoch {
+		return epochEvent{
+			T: rec.at.Sec(), Ev: evNames[rec.ev], Epoch: rec.flow,
+			Eps: float64(rec.frac), ProbeMs: float64(rec.depth),
+			RejectRate: float64(rec.a) / 1e6, LossRate: float64(rec.b) / 1e6,
 		}
 	}
 	kind := "data"

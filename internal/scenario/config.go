@@ -96,6 +96,43 @@ type ClassSpec struct {
 	Path []int
 }
 
+// LoadSpec modulates the aggregate flow-arrival rate over time: a square
+// wave alternating an on phase (arrival rate scaled by OnFactor) and an
+// off phase (scaled by OffFactor), repeating every PeriodSec. The runner
+// realizes it by Lewis–Shedler thinning: arrivals are drawn at the peak
+// rate and kept with probability factor(now)/max(factor), which is exact
+// for piecewise-constant intensities. The zero value (PeriodSec == 0)
+// disables modulation and leaves the stationary process untouched.
+type LoadSpec struct {
+	// PeriodSec is the on/off cycle length, simulated seconds.
+	PeriodSec float64
+	// OnFraction is the fraction of each period spent in the on phase
+	// (default 0.5).
+	OnFraction float64
+	// OnFactor scales the mean arrival rate during the on phase (default
+	// 2); OffFactor scales it during the off phase (default 0 — silence).
+	// The defaults preserve the stationary process's mean offered load.
+	OnFactor, OffFactor float64
+}
+
+// Active reports whether the spec modulates arrivals at all.
+func (l LoadSpec) Active() bool { return l.PeriodSec > 0 }
+
+// withDefaults resolves an active spec's unset knobs (inactive specs stay
+// zero so unmodulated configs fingerprint identically).
+func (l LoadSpec) withDefaults() LoadSpec {
+	if !l.Active() {
+		return l
+	}
+	if l.OnFraction == 0 {
+		l.OnFraction = 0.5
+	}
+	if l.OnFactor == 0 {
+		l.OnFactor = 2
+	}
+	return l
+}
+
 // LinkSpec describes one congested link.
 type LinkSpec struct {
 	RateBps    float64  // allocated share of the admission-controlled class
@@ -115,12 +152,21 @@ type Config struct {
 	InterArrival float64
 	// LifetimeSec is the mean exponential flow lifetime (default 300 s).
 	LifetimeSec float64
+	// Load, when active, modulates the arrival rate over time (the
+	// nonstationary on/off workload; see LoadSpec). The zero value keeps
+	// the stationary Poisson process, byte-identical to prior releases.
+	Load LoadSpec
 
 	Method Method
 	AC     admission.Config // used when Method == EAC
 	MS     mbac.Config      // used when Method == MBAC
 	// PV configures passive admission (Method == Passive).
 	PV PassiveConfig
+	// Policy selects the admission policy layered over the probing
+	// machinery (Method == EAC): the zero value is the paper's static-ε
+	// rule, byte-identical to prior releases; other kinds add token-bucket
+	// rate costs or epoch-based ε adaptation (see admission.PolicyConfig).
+	Policy admission.PolicyConfig
 
 	// Queue selects the router buffering discipline for the
 	// admission-controlled class.
@@ -235,6 +281,8 @@ func (c Config) WithDefaults() Config {
 		c.Drain = 2 * sim.Second
 	}
 	c.AC = c.AC.WithDefaults()
+	c.Policy = c.Policy.WithDefaults()
+	c.Load = c.Load.withDefaults()
 	if c.Method == MBAC && c.MS.Target == 0 {
 		c.MS.Target = 0.95
 	}
@@ -276,6 +324,23 @@ func (c Config) Validate() error {
 		}
 		if c.Queue == QueueRED && c.AC.Design.Band == admission.OutOfBand {
 			return fmt.Errorf("scenario: RED keeps a single FIFO and cannot host out-of-band probes")
+		}
+	}
+	if err := c.Policy.Validate(); err != nil {
+		return err
+	}
+	if c.Policy.Kind != admission.PolicyStatic && c.Method != EAC {
+		return fmt.Errorf("scenario: admission policy %s requires method EAC", c.Policy.Kind)
+	}
+	if c.Load.Active() {
+		if c.Load.OnFraction <= 0 || c.Load.OnFraction > 1 {
+			return fmt.Errorf("scenario: load OnFraction must be in (0, 1]")
+		}
+		if c.Load.OnFactor < 0 || c.Load.OffFactor < 0 {
+			return fmt.Errorf("scenario: negative load factor")
+		}
+		if c.Load.OnFactor == 0 && c.Load.OffFactor == 0 {
+			return fmt.Errorf("scenario: load modulation with both factors zero offers no traffic")
 		}
 	}
 	if c.Shards < 0 {

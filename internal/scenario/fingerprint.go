@@ -46,6 +46,12 @@ func (c Config) Fingerprint() string {
 	w("ac=%d/%d/%d eps=%g probe=%d stage=%d guard=%d\n",
 		c.AC.Design.Signal, c.AC.Design.Band, c.AC.Kind, c.AC.Eps,
 		int64(c.AC.ProbeDur), int64(c.AC.StageDur), int64(c.AC.Guard))
+	w("policy=%d bucket=%g/%g/%g epoch=%d eps=%g/%g step=%g target=%g adapt=%t/%d/%d\n",
+		c.Policy.Kind, c.Policy.BucketCap, c.Policy.BucketRate, c.Policy.BucketCost,
+		c.Policy.Epoch, c.Policy.EpsMin, c.Policy.EpsMax, c.Policy.Step, c.Policy.TargetLoss,
+		c.Policy.AdaptProbe, int64(c.Policy.ProbeMin), int64(c.Policy.ProbeMax))
+	w("load=%g/%g/%g/%g\n",
+		c.Load.PeriodSec, c.Load.OnFraction, c.Load.OnFactor, c.Load.OffFactor)
 	w("ms=%g/%g/%d\n", c.MS.Target, c.MS.SamplePeriod, c.MS.WindowPeriods)
 	w("pv=%g\n", c.PV.WindowSec)
 	w("classes=%d\n", len(c.Classes))

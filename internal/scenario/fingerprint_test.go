@@ -70,6 +70,32 @@ func TestFingerprintSensitivity(t *testing.T) {
 			c.MS.WindowPeriods = 5
 		},
 		"PV.WindowSec": func(c *Config) { c.PV.WindowSec = 10 },
+		"Policy.Kind":  func(c *Config) { c.Policy.Kind = admission.PolicyAlwaysAdmit },
+		"Policy.Bucket": func(c *Config) {
+			c.Policy = admission.PolicyConfig{Kind: admission.PolicyTokenBucket, BucketRate: 2}
+		},
+		"Policy.BucketCost": func(c *Config) {
+			c.Policy = admission.PolicyConfig{Kind: admission.PolicyTokenBucket, BucketCost: 3}
+		},
+		"Policy.Epoch": func(c *Config) {
+			c.Policy = admission.PolicyConfig{Kind: admission.PolicyEpochAdaptive, Epoch: 25}
+		},
+		"Policy.EpsBounds": func(c *Config) {
+			c.Policy = admission.PolicyConfig{Kind: admission.PolicyEpochAdaptive, EpsMin: 0.002}
+		},
+		"Policy.Step": func(c *Config) {
+			c.Policy = admission.PolicyConfig{Kind: admission.PolicyEpochAdaptive, Step: 0.5}
+		},
+		"Policy.TargetLoss": func(c *Config) {
+			c.Policy = admission.PolicyConfig{Kind: admission.PolicyEpochAdaptive, TargetLoss: 0.02}
+		},
+		"Policy.AdaptProbe": func(c *Config) {
+			c.Policy = admission.PolicyConfig{Kind: admission.PolicyEpochAdaptive, AdaptProbe: true}
+		},
+		"Load.Period":     func(c *Config) { c.Load.PeriodSec = 20 },
+		"Load.OnFraction": func(c *Config) { c.Load = LoadSpec{PeriodSec: 20, OnFraction: 0.25} },
+		"Load.OnFactor":   func(c *Config) { c.Load = LoadSpec{PeriodSec: 20, OnFactor: 3} },
+		"Load.OffFactor":  func(c *Config) { c.Load = LoadSpec{PeriodSec: 20, OffFactor: 0.5} },
 		"Class.Preset": func(c *Config) {
 			c.Classes = []ClassSpec{{Preset: trafgen.EXP2, Eps: -1}}
 		},
@@ -116,13 +142,19 @@ func TestFingerprintSensitivity(t *testing.T) {
 func TestFingerprintCoversConfig(t *testing.T) {
 	want := map[reflect.Type][]string{
 		reflect.TypeOf(Config{}): {"Name", "Classes", "Links", "InterArrival",
-			"LifetimeSec", "Method", "AC", "MS", "PV", "Queue", "VQFactor",
+			"LifetimeSec", "Load", "Method", "AC", "MS", "PV", "Policy",
+			"Queue", "VQFactor",
 			"Duration", "Warmup", "Drain", "MaxRetries", "RetryBackoffSec",
 			"Obs", "Cache", "Shards", "PrepopulateUtil", "Seed"},
 		reflect.TypeOf(ClassSpec{}):        {"Name", "Preset", "Weight", "Eps", "Path"},
 		reflect.TypeOf(LinkSpec{}):         {"RateBps", "Delay", "BufferPkts"},
+		reflect.TypeOf(LoadSpec{}):         {"PeriodSec", "OnFraction", "OnFactor", "OffFactor"},
 		reflect.TypeOf(PassiveConfig{}):    {"WindowSec"},
 		reflect.TypeOf(admission.Config{}): {"Design", "Kind", "Eps", "ProbeDur", "StageDur", "Guard"},
+		reflect.TypeOf(admission.PolicyConfig{}): {"Kind",
+			"BucketCap", "BucketRate", "BucketCost",
+			"Epoch", "EpsMin", "EpsMax", "Step", "TargetLoss",
+			"AdaptProbe", "ProbeMin", "ProbeMax"},
 		reflect.TypeOf(admission.Design{}): {"Signal", "Band"},
 		reflect.TypeOf(mbac.Config{}):      {"Target", "SamplePeriod", "WindowPeriods"},
 		reflect.TypeOf(trafgen.Preset{}):   {"Name", "TokenRate", "BucketBytes", "PktSize", "AvgRate", "build"},

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -29,9 +30,11 @@ type flowState struct {
 	stopEv    *sim.Event
 	counted   bool // decision falls inside the measurement window
 	attempts  int  // completed admission attempts (for retries)
+	extends   int  // probe extensions granted by the policy this attempt chain
 
 	active   bool
 	lastFrac float64 // bad-packet fraction of the last probe (EAC)
+	lastEps  float64 // threshold the last probe ran against (EAC)
 }
 
 // flowHot holds the per-flow counters touched on every packet event. They
@@ -59,6 +62,16 @@ type Runner struct {
 	rngLife  *stats.RNG
 	rngSrc   *stats.RNG
 	rngRetry *stats.RNG
+	rngLoad  *stats.RNG
+
+	// policy is the run's admission policy instance (Method EAC only).
+	// The static default reproduces the pre-policy code path exactly.
+	policy admission.Policy
+	// loadMaxF caches max(OnFactor, OffFactor) of an active LoadSpec for
+	// the thinned arrival draw; 0 means modulation is off and the arrival
+	// path (including its RNG consumption) is byte-identical to previous
+	// releases.
+	loadMaxF float64
 
 	flows     []*flowState
 	hot       []flowHot    // per-flow packet counters, parallel to flows
@@ -110,11 +123,13 @@ func newRunner(cfg Config) *Runner {
 		rngLife:  stats.NewStream(cfg.Seed, "lifetimes"),
 		rngSrc:   stats.NewStream(cfg.Seed, "sources"),
 		rngRetry: stats.NewStream(cfg.Seed, "retries"),
+		rngLoad:  stats.NewStream(cfg.Seed, "load"),
 	}
 	r.arrEv = sim.NewEvent(r.onFlowArrival)
 	r.winStart = cfg.Warmup
 	r.winEnd = cfg.Duration - cfg.Drain
 	r.meanIA = cfg.InterArrival
+	r.setupLoad()
 
 	maxPkt := maxPktSize(cfg)
 	for i, ls := range cfg.Links {
@@ -129,7 +144,56 @@ func newRunner(cfg Config) *Runner {
 	if cfg.Obs.Active() {
 		r.Observe(obs.New(cfg.Obs, cfg.Seed))
 	}
+	if cfg.Method == EAC {
+		r.policy = r.buildPolicy(r.links)
+	}
 	return r
+}
+
+// setupLoad caches the peak factor of an active load modulation.
+func (r *Runner) setupLoad() {
+	r.loadMaxF = 0
+	if r.cfg.Load.Active() {
+		r.loadMaxF = math.Max(r.cfg.Load.OnFactor, r.cfg.Load.OffFactor)
+	}
+}
+
+// loadFactor returns the arrival-rate scale in force at now (the square
+// wave of Config.Load; only called while modulation is active).
+func (r *Runner) loadFactor(now sim.Time) float64 {
+	l := r.cfg.Load
+	if math.Mod(now.Sec(), l.PeriodSec) < l.OnFraction*l.PeriodSec {
+		return l.OnFactor
+	}
+	return l.OffFactor
+}
+
+// buildPolicy constructs the run's admission policy and wires its
+// environment: a sharded run's token bucket is scaled to the shard's
+// owned weight share (so the aggregate admission rate matches serial),
+// and the adaptive policy reads post-admission loss from the given links
+// — the shard-owned subset on the sharded path — and reports epochs to
+// the run's collector. Requires links built; Method EAC only.
+func (r *Runner) buildPolicy(links []*netsim.Link) admission.Policy {
+	p := admission.NewPolicy(r.cfg.Policy, r.cfg.AC)
+	switch pol := p.(type) {
+	case *admission.TokenBucket:
+		if r.slot != nil && r.slot.totalW > 0 {
+			pol.Scale(r.slot.ownedW / r.slot.totalW)
+		}
+	case *admission.EpochAdaptive:
+		pol.SetLossSignal(func() (arrived, dropped int64) {
+			for _, l := range links {
+				arrived += l.Stats.Arrived[netsim.Data]
+				dropped += l.Stats.Dropped[netsim.Data]
+			}
+			return
+		})
+		pol.SetEpochHook(func(now sim.Time, st admission.EpochStats) {
+			r.obs.Epoch(now, st.Epoch, st.Eps, st.ProbeDur, st.RejectRate, st.LossRate)
+		})
+	}
+	return p
 }
 
 // maxPktSize returns the largest packet size across the offered classes.
@@ -224,9 +288,11 @@ func (r *Runner) reset(cfg Config) {
 	r.rngLife.ReseedStream(cfg.Seed, "lifetimes")
 	r.rngSrc.ReseedStream(cfg.Seed, "sources")
 	r.rngRetry.ReseedStream(cfg.Seed, "retries")
+	r.rngLoad.ReseedStream(cfg.Seed, "load")
 	r.winStart = cfg.Warmup
 	r.winEnd = cfg.Duration - cfg.Drain
 	r.meanIA = cfg.InterArrival
+	r.setupLoad()
 	r.ms = r.ms[:0]
 	r.monitors = r.monitors[:0]
 
@@ -260,6 +326,10 @@ func (r *Runner) reset(cfg Config) {
 	r.delayHist = [1001]int64{}
 	if cfg.Obs.Active() {
 		r.Observe(obs.New(cfg.Obs, cfg.Seed))
+	}
+	r.policy = nil
+	if cfg.Method == EAC {
+		r.policy = r.buildPolicy(r.links)
 	}
 }
 
@@ -457,7 +527,14 @@ func (r *Runner) prepopulate() {
 func (r *Runner) Sim() *sim.Sim { return r.s }
 
 func (r *Runner) scheduleNextArrival(now sim.Time) {
-	gap := sim.Seconds(r.rngArr.Exp(r.meanIA))
+	mean := r.meanIA
+	if r.loadMaxF > 0 {
+		// Lewis–Shedler thinning: draw at the peak modulated rate;
+		// onFlowArrival keeps each arrival with probability
+		// factor(now)/loadMaxF.
+		mean /= r.loadMaxF
+	}
+	gap := sim.Seconds(r.rngArr.Exp(mean))
 	at := now + gap
 	if at >= r.cfg.Duration {
 		return
@@ -518,6 +595,9 @@ func (r *Runner) buildRoute(f *flowState, class int) {
 func (r *Runner) onFlowArrival(now sim.Time) {
 	r.scheduleNextArrival(now)
 
+	if r.loadMaxF > 0 && r.rngLoad.Float64()*r.loadMaxF >= r.loadFactor(now) {
+		return // thinned away: the modulated rate is below peak right now
+	}
 	class := r.pickClass()
 	cl := r.cfg.Classes[class]
 	f := r.newFlow(class)
@@ -549,30 +629,76 @@ func (r *Runner) onFlowArrival(now sim.Time) {
 		r.recordDecision(now, f, true)
 		r.startData(now, f)
 	default: // EAC
-		r.startProbe(now, f)
+		r.admitEAC(now, f)
 	}
 }
 
-// startProbe launches (or relaunches, on retry) a flow's admission probe.
-// The completion closure and the prober itself are per-flowState, created
-// on first use and recycled with it; the closure reads only live state
-// (the runner, the flowState), so recycling cannot leak a previous run's
+// maxProbeExtends caps how many extra probes a policy's OutcomeExtend can
+// chain onto one admission attempt before the attempt falls back to the
+// normal rejection path.
+const maxProbeExtends = 3
+
+// admitEAC runs one admission attempt through the policy layer: the
+// policy sees the attempt (class threshold resolved into BaseEps) and
+// either settles it outright or parameterizes the probe. The static
+// default always probes at BaseEps, reproducing the pre-policy behaviour
+// exactly.
+func (r *Runner) admitEAC(now sim.Time, f *flowState) {
+	base := r.cfg.AC.Eps
+	if cl := r.cfg.Classes[f.class]; cl.Eps >= 0 {
+		base = cl.Eps
+	}
+	d := r.policy.Decide(admission.Request{
+		Now: now, FlowID: f.id, Class: f.class, Attempts: f.attempts, BaseEps: base,
+	})
+	switch d.Action {
+	case admission.ActionAdmit:
+		r.recordDecision(now, f, true)
+		r.startData(now, f)
+	case admission.ActionReject:
+		// Policy rejections are final: the retry back-off exists to
+		// re-measure a congested path, not to re-ask a rate limiter.
+		r.recordDecision(now, f, false)
+	default:
+		r.startProbe(now, f, d)
+	}
+}
+
+// startProbe launches (or relaunches, on retry) a flow's admission probe
+// with the policy's threshold and optional probe-duration override. The
+// completion closure and the prober itself are per-flowState, created on
+// first use and recycled with it; the closure reads only live state (the
+// runner, the flowState), so recycling cannot leak a previous run's
 // decisions.
-func (r *Runner) startProbe(now sim.Time, f *flowState) {
+func (r *Runner) startProbe(now sim.Time, f *flowState, d admission.Decision) {
 	cl := r.cfg.Classes[f.class]
 	ac := r.cfg.AC
-	if cl.Eps >= 0 {
-		ac.Eps = cl.Eps
+	ac.Eps = d.Eps
+	if d.ProbeDur > 0 {
+		ac.ProbeDur = d.ProbeDur
 	}
+	f.lastEps = d.Eps
 	if f.probeDone == nil {
 		f.probeDone = func(res admission.Result) {
 			at := r.s.Now()
 			f.attempts++
 			f.lastFrac = res.Fraction
-			if res.Accepted {
+			switch r.policy.Judge(at, admission.Observation{
+				Res: res, Attempts: f.attempts, Eps: f.lastEps,
+			}) {
+			case admission.OutcomeAccept:
 				r.recordDecision(at, f, true)
 				r.startData(at, f)
 				return
+			case admission.OutcomeExtend:
+				// The policy wants another look (e.g. the threshold moved
+				// mid-probe); re-attempt immediately, without burning a
+				// retry, up to the extension cap.
+				if f.extends < maxProbeExtends {
+					f.extends++
+					r.admitEAC(at, f)
+					return
+				}
 			}
 			// Footnote 10: rejected flows retry with exponential back-off.
 			if f.attempts <= r.cfg.MaxRetries {
@@ -580,7 +706,7 @@ func (r *Runner) startProbe(now sim.Time, f *flowState) {
 				delay := sim.Seconds(backoff * r.rngRetry.Uniform(0.5, 1.5))
 				if at+delay < r.cfg.Duration {
 					r.retries++
-					r.s.Call(at+delay, func(t sim.Time) { r.startProbe(t, f) })
+					r.s.Call(at+delay, func(t sim.Time) { r.admitEAC(t, f) })
 					return
 				}
 			}

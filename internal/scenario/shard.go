@@ -234,11 +234,13 @@ func newShardRunner(cfg Config, s *sim.Sim, idx int) *Runner {
 		rngLife:  shardStream(cfg.Seed, "lifetimes", idx),
 		rngSrc:   shardStream(cfg.Seed, "sources", idx),
 		rngRetry: shardStream(cfg.Seed, "retries", idx),
+		rngLoad:  shardStream(cfg.Seed, "load", idx),
 	}
 	r.arrEv = sim.NewEvent(r.onFlowArrival)
 	r.winStart = cfg.Warmup
 	r.winEnd = cfg.Duration - cfg.Drain
 	r.meanIA = cfg.InterArrival
+	r.setupLoad()
 	r.classes = make([]ClassMetrics, len(cfg.Classes))
 	for i := range r.classes {
 		r.classes[i].Name = cfg.Classes[i].Name
@@ -285,7 +287,21 @@ func newShardExec(cfg Config, k int) (*shardExec, error) {
 	}
 	e.buildTemplates()
 	e.wireObs()
+	e.buildPolicies()
 	return e, nil
+}
+
+// buildPolicies constructs each shard's admission policy over its owned
+// links. Admission state stays shard-local: the token bucket is scaled to
+// the shard's weight share (Runner.buildPolicy), and the adaptive policy
+// adapts from the loss observed on the shard's own links.
+func (e *shardExec) buildPolicies() {
+	if e.cfg.Method != EAC {
+		return
+	}
+	for _, sl := range e.slots {
+		sl.r.policy = sl.r.buildPolicy(sl.links)
+	}
 }
 
 // wireObs builds the per-shard collector set and attaches it: one
@@ -417,9 +433,11 @@ func (e *shardExec) reset(cfg Config) {
 		r.rngLife.ReseedStream(cfg.Seed, fmt.Sprintf("lifetimes@s%d", sl.idx))
 		r.rngSrc.ReseedStream(cfg.Seed, fmt.Sprintf("sources@s%d", sl.idx))
 		r.rngRetry.ReseedStream(cfg.Seed, fmt.Sprintf("retries@s%d", sl.idx))
+		r.rngLoad.ReseedStream(cfg.Seed, fmt.Sprintf("load@s%d", sl.idx))
 		r.winStart = cfg.Warmup
 		r.winEnd = cfg.Duration - cfg.Drain
 		r.meanIA = cfg.InterArrival
+		r.setupLoad()
 		for i := range r.classes {
 			r.classes[i] = ClassMetrics{Name: cfg.Classes[i].Name}
 		}
@@ -451,6 +469,10 @@ func (e *shardExec) reset(cfg Config) {
 	}
 	e.obs = nil
 	e.wireObs()
+	for _, sl := range e.slots {
+		sl.r.policy = nil
+	}
+	e.buildPolicies()
 }
 
 // run executes the sharded scenario and merges the per-shard metrics.
