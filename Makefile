@@ -1,7 +1,7 @@
 # Tier-1 flow: `make ci` is what a checkin must keep green.
 GO ?= go
 
-.PHONY: build test race vet bench bench-hotpath bench-grid bench-shard bench-policy bench-check cache-clear cover ci conformance update-golden fuzz-smoke
+.PHONY: build test race vet bench bench-hotpath bench-grid bench-shard bench-policy bench-workload bench-check cache-clear cover ci conformance update-golden fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,15 @@ bench-shard:
 bench-policy:
 	$(GO) test -run '^$$' -bench BenchmarkPolicy -benchmem -benchtime 3x -timeout 30m .
 
+# bench-workload measures the temporal workload engine on the same basic
+# bottleneck scenario: one full single-seed run per iteration with a
+# stationary process, the on/off square wave, a spike schedule, and a
+# replayed trace. The stationary row is the regression gate for the
+# thinning hook on the arrival path (no modulation active = no new work).
+# Rewrites results/BENCH_workload.json and appends to BENCH_index.json.
+bench-workload:
+	$(GO) test -run '^$$' -bench BenchmarkWorkload -benchmem -benchtime 3x -timeout 30m .
+
 # bench-check is the regression gate over results/BENCH_index.json: the
 # newest entry of each (benchmark, metric) series is compared against its
 # predecessor under per-series tolerances (baseline-normalized where a
@@ -114,6 +123,8 @@ fuzz-smoke:
 	$(GO) test ./internal/admission -run '^$$' -fuzz '^FuzzEpochAdaptive$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stats -run '^$$' -fuzz '^FuzzWelford$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stats -run '^$$' -fuzz '^FuzzWindowMax$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/scenario -run '^$$' -fuzz '^FuzzSchedule$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/scenario -run '^$$' -fuzz '^FuzzReplay$$' -fuzztime $(FUZZTIME)
 
 # The conformance harness runs inside `make test` (it is part of the
 # ordinary suite); fuzz-smoke is the only extra tier-1 step.

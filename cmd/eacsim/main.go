@@ -98,11 +98,13 @@ func main() {
 		targetLoss = flag.Float64("policy.target-loss", 0, "epoch-adaptive: post-admission loss setpoint (0 = default 0.01)")
 		adaptProbe = flag.Bool("policy.adapt-probe", false, "epoch-adaptive: also adapt the probe duration")
 
-		// Nonstationary load modulation (see README "Admission policies").
+		// Nonstationary load modulation (see README "Temporal workloads").
 		loadPeriod = flag.Float64("load.period", 0, "on/off arrival modulation period, seconds (0 = stationary)")
 		loadOnFrac = flag.Float64("load.on-fraction", 0, "fraction of each period in the on phase (0 = default 0.5)")
 		loadOnF    = flag.Float64("load.on-factor", 0, "arrival-rate factor in the on phase (0 = default 2)")
 		loadOffF   = flag.Float64("load.off-factor", 0, "arrival-rate factor in the off phase (default 0 = silent)")
+		loadSched  = flag.String("load.schedule", "", "phase schedule modulating the arrival rate, e.g. 'const:100:1,ramp:60:1:3,spike:30:4,hold' (see README; exclusive with -load.period)")
+		loadReplay = flag.String("load.replay", "", "replay flow arrivals from a recorded obs JSONL event trace instead of drawing them (exclusive with -load.period and -load.schedule)")
 
 		// Result cache (see README "Result cache").
 		useCache = flag.Bool("cache", false, "serve repeated runs from the content-addressed result cache")
@@ -154,6 +156,29 @@ func main() {
 			PeriodSec: *loadPeriod, OnFraction: *loadOnFrac,
 			OnFactor: *loadOnF, OffFactor: *loadOffF,
 		}
+	}
+	if *loadSched != "" {
+		if *loadPeriod > 0 {
+			log.Fatal("-load.schedule and -load.period are mutually exclusive")
+		}
+		s, err := scenario.ParseSchedule(*loadSched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Schedule = s
+	}
+	if *loadReplay != "" {
+		if *loadPeriod > 0 || *loadSched != "" {
+			log.Fatal("-load.replay is mutually exclusive with -load.period and -load.schedule")
+		}
+		tr, err := scenario.LoadReplay(*loadReplay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if tr.Len() == 0 {
+			log.Fatalf("-load.replay: no arrival events in %s (was the trace recorded with -obs and a large enough -trace-cap?)", *loadReplay)
+		}
+		cfg.Replay = tr
 	}
 	switch *method {
 	case "eac":
@@ -274,6 +299,14 @@ func main() {
 			man.Config["load_on_factor"] = cfg.Load.OnFactor
 			man.Config["load_off_factor"] = cfg.Load.OffFactor
 		}
+		if cfg.Schedule.Active() {
+			man.Config["load_schedule"] = cfg.Schedule.String()
+		}
+		if cfg.Replay != nil {
+			man.Config["replay_source"] = cfg.Replay.Source()
+			man.Config["replay_digest"] = cfg.Replay.Digest()
+			man.Config["replay_arrivals"] = cfg.Replay.Len()
+		}
 		man.Summary = map[string]any{
 			"utilization": m.Utilization, "util_stderr": mm.UtilStderr,
 			"loss": m.DataLossProb, "loss_stderr": mm.LossStderr,
@@ -325,6 +358,12 @@ func main() {
 	}
 	if cfg.Load.Active() {
 		fmt.Printf("load     : on/off modulation, period=%.3gs\n", cfg.Load.PeriodSec)
+	}
+	if cfg.Schedule.Active() {
+		fmt.Printf("load     : schedule %s (peak %.3gx)\n", cfg.Schedule, cfg.Schedule.Peak())
+	}
+	if cfg.Replay != nil {
+		fmt.Printf("load     : replaying %d arrivals from %s\n", cfg.Replay.Len(), cfg.Replay.Source())
 	}
 	fmt.Printf("util     : %.4f (+/- %.4f across seeds)\n", m.Utilization, mm.UtilStderr)
 	fmt.Printf("loss     : %.3e (+/- %.1e)\n", m.DataLossProb, mm.LossStderr)

@@ -27,6 +27,7 @@ import (
 	"eac/internal/cache"
 	"eac/internal/experiments"
 	"eac/internal/obs"
+	"eac/internal/scenario"
 	"eac/internal/sim"
 )
 
@@ -45,6 +46,10 @@ func main() {
 		verbose  = flag.Bool("v", false, "log every completed run")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		policy   = flag.String("policy", "", "override the admission policy of every EAC run that does not sweep policies itself: static, always-admit, never-admit, token-bucket, epoch-adaptive (empty = per-experiment default)")
+
+		// Temporal workload overrides (see EXPERIMENTS.md "Temporal workloads").
+		loadSched  = flag.String("load.schedule", "", "impose a phase schedule on every run without its own temporal source, e.g. 'const:100:1,spike:30:4,hold' (see README)")
+		loadReplay = flag.String("load.replay", "", "replay flow arrivals from a recorded obs JSONL trace in every run without its own temporal source (exclusive with -load.schedule)")
 
 		// Result cache (see README "Result cache").
 		useCache   = flag.Bool("cache", false, "serve repeated runs from the content-addressed result cache")
@@ -112,6 +117,26 @@ func main() {
 		if pk != admission.PolicyStatic {
 			opts.Policy = admission.PolicyConfig{Kind: pk}
 		}
+	}
+	if *loadSched != "" {
+		if *loadReplay != "" {
+			log.Fatal("-load.schedule and -load.replay are mutually exclusive")
+		}
+		s, err := scenario.ParseSchedule(*loadSched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Schedule = s
+	}
+	if *loadReplay != "" {
+		tr, err := scenario.LoadReplay(*loadReplay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if tr.Len() == 0 {
+			log.Fatalf("-load.replay: no arrival events in %s", *loadReplay)
+		}
+		opts.Replay = tr
 	}
 	if *verbose {
 		opts.Progress = func(format string, args ...any) { log.Printf(format, args...) }
@@ -200,6 +225,14 @@ func main() {
 				}
 				if *policy != "" {
 					man.Config["policy"] = *policy
+				}
+				if opts.Schedule.Active() {
+					man.Config["load_schedule"] = opts.Schedule.String()
+				}
+				if opts.Replay != nil {
+					man.Config["replay_source"] = opts.Replay.Source()
+					man.Config["replay_digest"] = opts.Replay.Digest()
+					man.Config["replay_arrivals"] = opts.Replay.Len()
 				}
 				man.Summary = map[string]any{"rows": len(tbl.Rows)}
 				man.Artifacts = []string{ex.ID + ".csv"}

@@ -35,6 +35,8 @@
 package eac
 
 import (
+	"io"
+
 	"eac/internal/admission"
 	"eac/internal/cache"
 	"eac/internal/fluid"
@@ -156,6 +158,47 @@ type (
 	// (nonstationary load; zero value means stationary arrivals).
 	LoadSpec = scenario.LoadSpec
 )
+
+// Temporal workload engine (see DESIGN.md §6): composable phase schedules
+// and recorded-trace replay behind Config.Schedule / Config.Replay.
+type (
+	// Schedule is a sequence of load phases modulating the arrival rate
+	// (zero value means stationary arrivals).
+	Schedule = scenario.Schedule
+	// Phase is one segment of a Schedule.
+	Phase = scenario.Phase
+	// PhaseKind enumerates the phase shapes.
+	PhaseKind = scenario.PhaseKind
+	// ReplayTrace re-drives flow arrivals recorded in an obs JSONL trace.
+	ReplayTrace = scenario.ReplayTrace
+	// ReplayArrival is one recorded arrival of a ReplayTrace.
+	ReplayArrival = scenario.ReplayArrival
+)
+
+// Phase shapes.
+const (
+	PhaseConst = scenario.PhaseConst
+	PhaseRamp  = scenario.PhaseRamp
+	PhaseSine  = scenario.PhaseSine
+)
+
+// ParseSchedule parses the textual schedule grammar used by the
+// -load.schedule flag (e.g. "const:100:1,ramp:60:1:3,spike:30:4,hold").
+func ParseSchedule(spec string) (Schedule, error) { return scenario.ParseSchedule(spec) }
+
+// NewReplayTrace builds a replay source from explicit arrivals.
+func NewReplayTrace(arrivals []ReplayArrival, source string) (*ReplayTrace, error) {
+	return scenario.NewReplayTrace(arrivals, source)
+}
+
+// LoadReplay reads a recorded obs JSONL event trace into a replay source.
+func LoadReplay(path string) (*ReplayTrace, error) { return scenario.LoadReplay(path) }
+
+// ParseReplay reads an obs JSONL event trace from r into a replay source;
+// source labels the trace in manifests.
+func ParseReplay(r io.Reader, source string) (*ReplayTrace, error) {
+	return scenario.ParseReplay(r, source)
+}
 
 // Built-in admission policies.
 const (

@@ -111,6 +111,41 @@ func TestShardEnvelopeCongestedMultihop(t *testing.T) {
 	t.Log("\n" + r.Report())
 }
 
+// TestShardEnvelopeNonstationary repeats the congested-backbone envelope
+// under a spike schedule: the shards thin their per-shard arrival streams
+// against one absolute phase clock, so the aggregate modulated process
+// must stay statistically equivalent to the serial one through the
+// transient. A per-shard clock bug (e.g. phase measured from the shard's
+// first arrival) concentrates or misses the spike per shard and shows up
+// as a blocking/loss gap far beyond these bounds. Bounds match the
+// stationary congested test with headroom for the transient's extra
+// variance (observed seed-mean deltas over seeds {1..6}: ≈0.007
+// utilization, ≈1e-3 loss, ≈0.013 blocking, ≈0.3% mean delay).
+func TestShardEnvelopeNonstationary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("envelope comparison runs full scenarios")
+	}
+	cfg := congestedCfg()
+	cfg.Name = "congested-spike-envelope"
+	cfg.Schedule = scenario.Schedule{Phases: []scenario.Phase{
+		{Kind: scenario.PhaseConst, DurationSec: 150, From: 1, To: 1},
+		{Kind: scenario.PhaseConst, DurationSec: 60, From: 3, To: 3},
+		{Kind: scenario.PhaseConst, DurationSec: 200, From: 1, To: 1},
+	}, Hold: true}
+	r, err := ShardEnvelope(cfg, 3, envelopeSeeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards != 3 {
+		t.Fatalf("resolved to %d shards, want 3", r.Shards)
+	}
+	env := Envelope{UtilAbs: 0.05, LossAbs: 3e-3, BlockAbs: 0.05, DelayRel: 0.10}
+	if err := r.Check(env); err != nil {
+		t.Error(err)
+	}
+	t.Log("\n" + r.Report())
+}
+
 // TestEnvelopeCatchesDivergence: the envelope must reject a genuinely
 // different system, not just pass everything. Comparing the congested
 // scenario against a variant with twice the offered load exceeds every

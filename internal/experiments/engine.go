@@ -155,6 +155,17 @@ func (o Options) runJobs(jobs []Job) error {
 				c.Policy == (admission.PolicyConfig{}) {
 				c.Policy = o.Policy
 			}
+			// Workload overrides follow the Policy rule: only jobs that
+			// did not pick a temporal source of their own are modulated,
+			// so experiments that sweep nonstationarity explicitly keep
+			// their configured dynamics.
+			if !c.Load.Active() && !c.Schedule.Active() && c.Replay == nil {
+				if o.Replay != nil {
+					c.Replay = o.Replay
+				} else if o.Schedule.Active() {
+					c.Schedule = o.Schedule
+				}
+			}
 			if o.Obs.Active() {
 				// Per-run observability: every run gets its own
 				// collector; artifacts are named by point label + seed.

@@ -90,6 +90,18 @@ type Options struct {
 	// the -policy command-line flag threads through here. Jobs that sweep
 	// policies explicitly (the policy experiments) are left untouched.
 	Policy admission.PolicyConfig
+	// Schedule, when active, imposes a temporal workload schedule
+	// (scenario.Config.Schedule) on every sweep run whose job did not set
+	// its own temporal source (Load, Schedule, or Replay): the
+	// -load.schedule command-line flag threads through here. Jobs that
+	// model nonstationarity themselves (policy_thrash, flash_crowd) are
+	// left untouched.
+	Schedule scenario.Schedule
+	// Replay, when non-nil, re-drives every sweep run from a recorded
+	// arrival trace (scenario.Config.Replay), under the same
+	// no-own-temporal-source rule as Schedule: the -load.replay
+	// command-line flag threads through here.
+	Replay *scenario.ReplayTrace
 }
 
 // Quick returns quick-mode options.

@@ -28,6 +28,7 @@ func All() []Experiment {
 		{"figure11", "TCP coexistence", Figure11},
 		{"policy_sweep", "Per-policy loss-load sweep", PolicySweep},
 		{"policy_thrash", "Policy thrashing resistance under on/off load", PolicyThrash},
+		{"flash_crowd", "Admission dynamics through a flash crowd", FlashCrowd},
 	}
 }
 

@@ -148,6 +148,16 @@ type shardDecisionEvent struct {
 	Shard int `json:"shard"`
 }
 
+type shardArrivalEvent struct {
+	arrivalEvent
+	Shard int `json:"shard"`
+}
+
+type shardEpochEvent struct {
+	epochEvent
+	Shard int `json:"shard"`
+}
+
 // WriteTrace k-way-merges the per-shard rings into one JSONL stream
 // ordered by (time, shard, ring order); every event carries a shard
 // field. Within one shard the ring is already in push order, which is
@@ -182,6 +192,12 @@ func (m *Merged) WriteTrace(w io.Writer) error {
 			v = shardPacketEvent{ev, best}
 		case decisionEvent:
 			v = shardDecisionEvent{ev, best}
+		case arrivalEvent:
+			v = shardArrivalEvent{ev, best}
+		case epochEvent:
+			// Previously fell through the switch and serialized as a bare
+			// null line; epoch events now survive the shard merge too.
+			v = shardEpochEvent{ev, best}
 		}
 		if err := enc.Encode(v); err != nil {
 			return err

@@ -25,9 +25,14 @@ const (
 	// force plus the epoch's rejection and loss rates. Static-policy runs
 	// never emit it.
 	evEpoch
+	// evArrival records one flow arrival (offered, before any admission
+	// decision): the flow id and its class. These events make a trace
+	// replayable as a workload — scenario.ParseReplay re-drives the exact
+	// arrival sequence through a fresh run.
+	evArrival
 )
 
-var evNames = [...]string{"enqueue", "dequeue", "drop", "mark", "admit", "reject", "handoff", "epoch"}
+var evNames = [...]string{"enqueue", "dequeue", "drop", "mark", "admit", "reject", "handoff", "epoch", "arrival"}
 
 // traceRec is the compact in-ring representation of one event. Packet
 // events use link/kind/a(size)/b(seq)/depth; admission decisions use
@@ -91,6 +96,16 @@ type decisionEvent struct {
 	Frac    float64 `json:"frac"`
 }
 
+// arrivalEvent is the JSONL form of a flow arrival. The field set is the
+// replay contract: scenario.ParseReplay reads exactly {t, ev, class} and
+// ignores everything else, so renaming these keys breaks recorded traces.
+type arrivalEvent struct {
+	T     float64 `json:"t"`
+	Ev    string  `json:"ev"`
+	Flow  int32   `json:"flow"`
+	Class int     `json:"class"`
+}
+
 // epochEvent is the JSONL form of a policy adaptation epoch.
 type epochEvent struct {
 	T          float64 `json:"t"`
@@ -120,6 +135,16 @@ func (c *Collector) Epoch(now sim.Time, epoch int, eps float64, probeDur sim.Tim
 	})
 }
 
+// Arrival records one offered flow arrival in the event trace. The class
+// rides in the wide a field (not the uint8 kind) so class indices above
+// 255 survive the round trip. Nil-safe; a no-op unless tracing.
+func (c *Collector) Arrival(now sim.Time, flow, class int) {
+	if !c.Tracing() {
+		return
+	}
+	c.trace.push(traceRec{at: now, ev: evArrival, link: -1, flow: int32(flow), a: int64(class)})
+}
+
 // TraceLen returns the number of buffered trace events.
 func (c *Collector) TraceLen() int {
 	if c == nil {
@@ -142,6 +167,11 @@ func (c *Collector) traceEvent(rec traceRec) any {
 		return decisionEvent{
 			T: rec.at.Sec(), Ev: evNames[rec.ev], Flow: rec.flow,
 			Class: int(rec.kind), Attempt: rec.a, Frac: float64(rec.frac),
+		}
+	}
+	if rec.ev == evArrival {
+		return arrivalEvent{
+			T: rec.at.Sec(), Ev: evNames[rec.ev], Flow: rec.flow, Class: int(rec.a),
 		}
 	}
 	if rec.ev == evEpoch {

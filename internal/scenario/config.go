@@ -127,7 +127,12 @@ func (l LoadSpec) withDefaults() LoadSpec {
 	if l.OnFraction == 0 {
 		l.OnFraction = 0.5
 	}
-	if l.OnFactor == 0 {
+	// Default the factors only when BOTH are zero (the fully-unset spec).
+	// An explicit OnFactor 0 with a positive OffFactor is a valid inverted
+	// duty cycle — silence during the on phase — and clobbering it with
+	// the default 2 silently changed the workload (pinned by
+	// TestLoadInvertedWave).
+	if l.OnFactor == 0 && l.OffFactor == 0 {
 		l.OnFactor = 2
 	}
 	return l
@@ -156,6 +161,19 @@ type Config struct {
 	// nonstationary on/off workload; see LoadSpec). The zero value keeps
 	// the stationary Poisson process, byte-identical to prior releases.
 	Load LoadSpec
+	// Schedule, when active, drives the arrival rate through a sequence of
+	// composable load phases (constant, ramp, spike, sawtooth, sine; see
+	// Schedule and ParseSchedule), realized by Lewis–Shedler thinning
+	// against the schedule's global peak on the same dedicated "load" RNG
+	// stream LoadSpec uses. Mutually exclusive with Load and Replay.
+	Schedule Schedule
+	// Replay, when non-nil, replaces the Poisson arrival process entirely:
+	// flow arrival times and classes are re-driven verbatim from a
+	// recorded obs JSONL trace (see ReplayTrace and LoadReplay), so a
+	// replayed run with the same seed and parameters reproduces the
+	// recorded run's aggregate metrics byte-for-byte. Mutually exclusive
+	// with Load and Schedule.
+	Replay *ReplayTrace
 
 	Method Method
 	AC     admission.Config // used when Method == EAC
@@ -343,6 +361,22 @@ func (c Config) Validate() error {
 			return fmt.Errorf("scenario: load modulation with both factors zero offers no traffic")
 		}
 	}
+	if c.Schedule.Active() {
+		if c.Load.Active() {
+			return fmt.Errorf("scenario: Load and Schedule are mutually exclusive")
+		}
+		if err := c.Schedule.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Replay != nil {
+		if c.Load.Active() || c.Schedule.Active() {
+			return fmt.Errorf("scenario: Replay is mutually exclusive with Load and Schedule")
+		}
+		if mc := c.Replay.MaxClass(); mc >= len(c.Classes) {
+			return fmt.Errorf("scenario: replay trace references class %d but the config has %d classes", mc, len(c.Classes))
+		}
+	}
 	if c.Shards < 0 {
 		return fmt.Errorf("scenario: negative shard count")
 	}
@@ -414,6 +448,13 @@ type Metrics struct {
 	// argues queueing delay stays small because the admission-controlled
 	// queue is kept shallow; these fields let experiments verify that.
 	MeanDelaySec, P99DelaySec float64
+	// MeanEps is the mean admission threshold in force across the EAC
+	// flows decided in the accounting window (each flow contributes the ε
+	// its final decision was made against). Under the static policy it
+	// equals the configured ε; under the epoch-adaptive policy it traces
+	// the adapted threshold, which is what the flash_crowd experiment
+	// plots through a spike. Zero for non-EAC methods.
+	MeanEps float64
 }
 
 // Summary formats the headline numbers.
@@ -442,7 +483,7 @@ func Aggregate(runs []Metrics) MultiMetrics {
 	if len(runs) == 0 {
 		return mm
 	}
-	var util, loss, block, probe, decided, retries, mdel, p99 math64
+	var util, loss, block, probe, decided, retries, mdel, p99, meps math64
 	mm.Mean.Classes = make([]ClassMetrics, len(runs[0].Classes))
 	mm.Mean.Links = make([]LinkMetrics, len(runs[0].Links))
 	for i := range mm.Mean.Classes {
@@ -457,6 +498,7 @@ func Aggregate(runs []Metrics) MultiMetrics {
 		retries.add(float64(r.Retries))
 		mdel.add(r.MeanDelaySec)
 		p99.add(r.P99DelaySec)
+		meps.add(r.MeanEps)
 		for i := range r.Classes {
 			mm.Mean.Classes[i].Arrived += r.Classes[i].Arrived
 			mm.Mean.Classes[i].Accepted += r.Classes[i].Accepted
@@ -479,6 +521,7 @@ func Aggregate(runs []Metrics) MultiMetrics {
 	mm.Mean.Retries = int64(retries.avg() * float64(len(runs)))
 	mm.Mean.MeanDelaySec = mdel.avg()
 	mm.Mean.P99DelaySec = p99.avg()
+	mm.Mean.MeanEps = meps.avg()
 	mm.UtilStderr = util.stderr()
 	mm.LossStderr = loss.stderr()
 	return mm

@@ -13,7 +13,9 @@ import (
 // conformance figures are the backstop that catches a forgotten bump: any
 // change that moves them must come with a salt bump, or stale cache entries
 // would keep serving the old numbers.
-const ResultsVersion = "eac/results/v1"
+// v2: Metrics gained MeanEps (threshold-in-force accounting); cached v1
+// entries would decode with MeanEps=0 and silently misreport adaptive runs.
+const ResultsVersion = "eac/results/v2"
 
 // Fingerprint returns the content address of this configuration's results:
 // a hex SHA-256 over ResultsVersion plus a canonical encoding of every
@@ -52,6 +54,19 @@ func (c Config) Fingerprint() string {
 		c.Policy.AdaptProbe, int64(c.Policy.ProbeMin), int64(c.Policy.ProbeMax))
 	w("load=%g/%g/%g/%g\n",
 		c.Load.PeriodSec, c.Load.OnFraction, c.Load.OnFactor, c.Load.OffFactor)
+	// Schedule and replay lines appear only when active, so configs that use
+	// neither keep the same canonical encoding as before they existed.
+	if c.Schedule.Active() {
+		w("sched=%d hold=%t\n", len(c.Schedule.Phases), c.Schedule.Hold)
+		for _, p := range c.Schedule.Phases {
+			w("phase=%d/%g/%g/%g\n", p.Kind, p.DurationSec, p.From, p.To)
+		}
+	}
+	if c.Replay != nil {
+		// The digest covers every (time, class) pair; Len is redundant but
+		// keeps the encoding self-describing.
+		w("replay=%s/%d\n", c.Replay.Digest(), c.Replay.Len())
+	}
 	w("ms=%g/%g/%d\n", c.MS.Target, c.MS.SamplePeriod, c.MS.WindowPeriods)
 	w("pv=%g\n", c.PV.WindowSec)
 	w("classes=%d\n", len(c.Classes))

@@ -96,6 +96,34 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"Load.OnFraction": func(c *Config) { c.Load = LoadSpec{PeriodSec: 20, OnFraction: 0.25} },
 		"Load.OnFactor":   func(c *Config) { c.Load = LoadSpec{PeriodSec: 20, OnFactor: 3} },
 		"Load.OffFactor":  func(c *Config) { c.Load = LoadSpec{PeriodSec: 20, OffFactor: 0.5} },
+		"Schedule.Phases": func(c *Config) {
+			c.Schedule = Schedule{Phases: []Phase{{Kind: PhaseConst, DurationSec: 10, From: 2, To: 2}}}
+		},
+		"Schedule.Hold": func(c *Config) {
+			c.Schedule = Schedule{Phases: []Phase{{Kind: PhaseConst, DurationSec: 10, From: 2, To: 2}}, Hold: true}
+		},
+		// Same duration and factors as Schedule.Phases; distinctness pins
+		// the Kind component of the phase line.
+		"Schedule.Kind": func(c *Config) {
+			c.Schedule = Schedule{Phases: []Phase{{Kind: PhaseRamp, DurationSec: 10, From: 2, To: 2}}}
+		},
+		"Schedule.To": func(c *Config) {
+			c.Schedule = Schedule{Phases: []Phase{{Kind: PhaseRamp, DurationSec: 10, From: 2, To: 4}}}
+		},
+		"Replay": func(c *Config) {
+			tr, err := NewReplayTrace([]ReplayArrival{{At: sim.Second, Class: 0}}, "test")
+			if err != nil {
+				panic(err)
+			}
+			c.Replay = tr
+		},
+		"Replay.Content": func(c *Config) {
+			tr, err := NewReplayTrace([]ReplayArrival{{At: 2 * sim.Second, Class: 0}}, "test")
+			if err != nil {
+				panic(err)
+			}
+			c.Replay = tr
+		},
 		"Class.Preset": func(c *Config) {
 			c.Classes = []ClassSpec{{Preset: trafgen.EXP2, Eps: -1}}
 		},
@@ -142,13 +170,17 @@ func TestFingerprintSensitivity(t *testing.T) {
 func TestFingerprintCoversConfig(t *testing.T) {
 	want := map[reflect.Type][]string{
 		reflect.TypeOf(Config{}): {"Name", "Classes", "Links", "InterArrival",
-			"LifetimeSec", "Load", "Method", "AC", "MS", "PV", "Policy",
+			"LifetimeSec", "Load", "Schedule", "Replay", "Method", "AC", "MS", "PV", "Policy",
 			"Queue", "VQFactor",
 			"Duration", "Warmup", "Drain", "MaxRetries", "RetryBackoffSec",
 			"Obs", "Cache", "Shards", "PrepopulateUtil", "Seed"},
 		reflect.TypeOf(ClassSpec{}):        {"Name", "Preset", "Weight", "Eps", "Path"},
 		reflect.TypeOf(LinkSpec{}):         {"RateBps", "Delay", "BufferPkts"},
 		reflect.TypeOf(LoadSpec{}):         {"PeriodSec", "OnFraction", "OnFactor", "OffFactor"},
+		reflect.TypeOf(Schedule{}):         {"Phases", "Hold"},
+		reflect.TypeOf(Phase{}):            {"Kind", "DurationSec", "From", "To"},
+		reflect.TypeOf(ReplayTrace{}):      {"arrivals", "digest", "source"},
+		reflect.TypeOf(ReplayArrival{}):    {"At", "Class"},
 		reflect.TypeOf(PassiveConfig{}):    {"WindowSec"},
 		reflect.TypeOf(admission.Config{}): {"Design", "Kind", "Eps", "ProbeDur", "StageDur", "Guard"},
 		reflect.TypeOf(admission.PolicyConfig{}): {"Kind",

@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzSchedule feeds arbitrary specs to the schedule parser and, for every
+// spec it accepts, checks the evaluation invariants the thinning loop
+// relies on: the factor is finite and non-negative everywhere, never
+// exceeds the declared peak (the thinning envelope), the cursor-based
+// evaluation agrees with the stateless one, and the String rendering
+// parses back to an equal schedule.
+//
+// Run with: go test ./internal/scenario -fuzz FuzzSchedule
+func FuzzSchedule(f *testing.F) {
+	f.Add("const:100:2")
+	f.Add("ramp:60:1:3,sine:30:0.5:4,hold")
+	f.Add("steps:10:1:2:3")
+	f.Add("flash:50:10:1:4")
+	f.Add("const:1e-3:1e6,sawtooth:0.5:0:0.1")
+	f.Add("diurnal:86400:0.5:2")
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSchedule(spec)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("parsed schedule fails Validate: %v", err)
+		}
+		peak := s.Peak()
+		if !(peak > 0) || math.IsInf(peak, 0) {
+			t.Fatalf("accepted schedule has unusable peak %v", peak)
+		}
+		total := s.TotalSec()
+		var cur schedCursor
+		for i := 0; i <= 64; i++ {
+			// Sweep two full cycles, plus a point far past the end to hit
+			// the hold/cycle branch.
+			q := 2 * total * float64(i) / 64
+			if i == 64 {
+				q = 3*total + 1
+			}
+			got := s.FactorAt(q)
+			if math.IsNaN(got) || got < 0 {
+				t.Fatalf("FactorAt(%g) = %v", q, got)
+			}
+			if got > peak*(1+1e-12)+1e-9 {
+				t.Fatalf("FactorAt(%g) = %g exceeds peak %g", q, got, peak)
+			}
+			if c := s.factorAt(q, &cur); c != got {
+				t.Fatalf("cursor factorAt(%g) = %g, stateless = %g", q, c, got)
+			}
+		}
+		// A backwards query must not confuse the cursor.
+		if c, want := s.factorAt(0, &cur), s.FactorAt(0); c != want {
+			t.Fatalf("cursor factorAt(0) after rewind = %g, want %g", c, want)
+		}
+		back, err := ParseSchedule(s.String())
+		if err != nil {
+			t.Fatalf("String() = %q does not re-parse: %v", s.String(), err)
+		}
+		if back.String() != s.String() {
+			t.Fatalf("String round-trip unstable: %q vs %q", s.String(), back.String())
+		}
+	})
+}
+
+// FuzzReplay feeds arbitrary bytes to the trace parser: it must never
+// panic, and whatever it accepts must satisfy the replay contract — times
+// sorted non-decreasing, no negative times or classes, and a digest that
+// is a pure function of the arrival sequence.
+//
+// Run with: go test ./internal/scenario -fuzz FuzzReplay
+func FuzzReplay(f *testing.F) {
+	f.Add([]byte(`{"t":0.5,"ev":"arrival","flow":3,"class":1}` + "\n"))
+	f.Add([]byte(`{"t":1,"ev":"arrival","class":0,"shard":1}` + "\n" + `{"t":0.5,"ev":"arrival","class":2}`))
+	f.Add([]byte("not json\n{\"t\":-1,\"ev\":\"arrival\",\"class\":0}\n"))
+	f.Add([]byte(`{"t":1e300,"ev":"arrival","class":0}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ParseReplay(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		var prev int64 = -1
+		for _, a := range tr.arrivals {
+			if a.At < 0 || a.Class < 0 {
+				t.Fatalf("accepted arrival with negative field: %+v", a)
+			}
+			if int64(a.At) < prev {
+				t.Fatalf("arrivals out of order: %d after %d", a.At, prev)
+			}
+			prev = int64(a.At)
+		}
+		if tr.Len() > 0 && tr.MaxClass() < 0 {
+			t.Fatalf("non-empty trace reports MaxClass %d", tr.MaxClass())
+		}
+		tr2, err := ParseReplay(bytes.NewReader(data), "fuzz")
+		if err != nil || tr2.Digest() != tr.Digest() {
+			t.Fatalf("digest not deterministic: %q vs %q (%v)", tr.Digest(), tr2.Digest(), err)
+		}
+	})
+}

@@ -67,11 +67,26 @@ type Runner struct {
 	// policy is the run's admission policy instance (Method EAC only).
 	// The static default reproduces the pre-policy code path exactly.
 	policy admission.Policy
-	// loadMaxF caches max(OnFactor, OffFactor) of an active LoadSpec for
-	// the thinned arrival draw; 0 means modulation is off and the arrival
-	// path (including its RNG consumption) is byte-identical to previous
-	// releases.
+	// loadMaxF caches the peak factor of an active load modulation — the
+	// Lewis–Shedler thinning envelope: max(OnFactor, OffFactor) for a
+	// LoadSpec, Schedule.Peak() for a Schedule. 0 means modulation is off
+	// and the arrival path (including its RNG consumption) is
+	// byte-identical to previous releases.
 	loadMaxF float64
+	// schedCur is the monotone phase cursor of an active Schedule, reset
+	// with the rest of the run state so Workspace reuse cannot leak a
+	// previous run's phase position (TestWorkspaceLoadByteIdentical).
+	schedCur schedCursor
+	// replay / replayIdx drive trace-replay arrivals: replayIdx is the
+	// next recorded arrival to schedule. Sharded runners skip entries for
+	// classes owned by other shards, which partitions the recorded
+	// aggregate exactly as class ownership partitions the live process.
+	replay    *ReplayTrace
+	replayIdx int
+	// epsSum / epsN accumulate the admission threshold in force for each
+	// EAC flow decided inside the window (Metrics.MeanEps).
+	epsSum float64
+	epsN   int64
 
 	flows     []*flowState
 	hot       []flowHot    // per-flow packet counters, parallel to flows
@@ -150,17 +165,35 @@ func newRunner(cfg Config) *Runner {
 	return r
 }
 
-// setupLoad caches the peak factor of an active load modulation.
+// setupLoad reinitializes the workload state for a (re)run: the thinning
+// peak of an active modulation, the schedule's phase cursor, and the
+// replay stream position. Called by newRunner, newShardRunner, and both
+// reset paths, so a recycled runner starts every workload byte-identically
+// to a fresh one.
 func (r *Runner) setupLoad() {
 	r.loadMaxF = 0
-	if r.cfg.Load.Active() {
+	r.schedCur = schedCursor{}
+	r.replay = r.cfg.Replay
+	r.replayIdx = 0
+	switch {
+	case r.replay != nil:
+		// Replay drives arrival times directly; no thinning envelope.
+	case r.cfg.Schedule.Active():
+		r.loadMaxF = r.cfg.Schedule.Peak()
+	case r.cfg.Load.Active():
 		r.loadMaxF = math.Max(r.cfg.Load.OnFactor, r.cfg.Load.OffFactor)
 	}
 }
 
-// loadFactor returns the arrival-rate scale in force at now (the square
-// wave of Config.Load; only called while modulation is active).
+// loadFactor returns the arrival-rate scale in force at now (an active
+// Schedule's phase value, else the square wave of Config.Load; only
+// called while modulation is active). The phase clock is absolute
+// simulated time, so every shard of a sharded run evaluates the same
+// factor at the same instant.
 func (r *Runner) loadFactor(now sim.Time) float64 {
+	if r.cfg.Schedule.Active() {
+		return r.cfg.Schedule.factorAt(now.Sec(), &r.schedCur)
+	}
 	l := r.cfg.Load
 	if math.Mod(now.Sec(), l.PeriodSec) < l.OnFraction*l.PeriodSec {
 		return l.OnFactor
@@ -320,6 +353,7 @@ func (r *Runner) reset(cfg Config) {
 	}
 
 	r.decided, r.retries = 0, 0
+	r.epsSum, r.epsN = 0, 0
 	r.obs = nil
 	r.activeFlows, r.lastSample = 0, 0
 	r.delayStats = stats.Welford{}
@@ -527,6 +561,10 @@ func (r *Runner) prepopulate() {
 func (r *Runner) Sim() *sim.Sim { return r.s }
 
 func (r *Runner) scheduleNextArrival(now sim.Time) {
+	if r.replay != nil {
+		r.scheduleNextReplay()
+		return
+	}
 	mean := r.meanIA
 	if r.loadMaxF > 0 {
 		// Lewis–Shedler thinning: draw at the peak modulated rate;
@@ -542,6 +580,25 @@ func (r *Runner) scheduleNextArrival(now sim.Time) {
 	// Only one arrival is ever pending (each firing schedules the next),
 	// so a single persistent event serves the whole run.
 	r.s.Schedule(r.arrEv, at)
+}
+
+// scheduleNextReplay schedules the next recorded arrival this runner owns.
+// A sharded runner skips entries for classes owned by other shards; a
+// recorded time at or past the horizon ends the stream, mirroring the
+// live arrival process.
+func (r *Runner) scheduleNextReplay() {
+	for r.replayIdx < len(r.replay.arrivals) {
+		a := r.replay.arrivals[r.replayIdx]
+		if r.slot != nil && r.slot.classW[a.Class] <= 0 {
+			r.replayIdx++
+			continue
+		}
+		if a.At >= r.cfg.Duration {
+			return
+		}
+		r.s.Schedule(r.arrEv, a.At)
+		return
+	}
 }
 
 // pickClass samples a class index by weight. A sharded runner samples only
@@ -593,14 +650,26 @@ func (r *Runner) buildRoute(f *flowState, class int) {
 }
 
 func (r *Runner) onFlowArrival(now sim.Time) {
-	r.scheduleNextArrival(now)
-
-	if r.loadMaxF > 0 && r.rngLoad.Float64()*r.loadMaxF >= r.loadFactor(now) {
-		return // thinned away: the modulated rate is below peak right now
+	var class int
+	if r.replay != nil {
+		// The pending arrival is the one scheduleNextReplay stopped at;
+		// consume it and line up the next before anything else so the
+		// Schedule-call order matches the live path (next arrival first,
+		// then the flow's own events) — the replay round-trip's
+		// byte-identity depends on that order.
+		class = r.replay.arrivals[r.replayIdx].Class
+		r.replayIdx++
+		r.scheduleNextArrival(now)
+	} else {
+		r.scheduleNextArrival(now)
+		if r.loadMaxF > 0 && r.rngLoad.Float64()*r.loadMaxF >= r.loadFactor(now) {
+			return // thinned away: the modulated rate is below peak right now
+		}
+		class = r.pickClass()
 	}
-	class := r.pickClass()
 	cl := r.cfg.Classes[class]
 	f := r.newFlow(class)
+	r.obs.Arrival(now, f.id, class)
 	r.buildRoute(f, class)
 
 	switch r.cfg.Method {
@@ -651,6 +720,11 @@ func (r *Runner) admitEAC(now sim.Time, f *flowState) {
 	d := r.policy.Decide(admission.Request{
 		Now: now, FlowID: f.id, Class: f.class, Attempts: f.attempts, BaseEps: base,
 	})
+	// The threshold in force for this attempt, whatever the action — it
+	// feeds Metrics.MeanEps when the flow's final decision is recorded
+	// (outright admits/rejects carry the policy's Eps as published, zero
+	// for policies that do not probe).
+	f.lastEps = d.Eps
 	switch d.Action {
 	case admission.ActionAdmit:
 		r.recordDecision(now, f, true)
@@ -736,6 +810,10 @@ func (r *Runner) recordDecision(now sim.Time, f *flowState, accepted bool) {
 	}
 	f.counted = true
 	r.decided++
+	if r.cfg.Method == EAC {
+		r.epsSum += f.lastEps
+		r.epsN++
+	}
 	cm := &r.classes[f.class]
 	cm.Arrived++
 	if accepted {
@@ -835,6 +913,9 @@ func (r *Runner) metrics() Metrics {
 	}
 	m.Decided = r.decided
 	m.Retries = r.retries
+	if r.epsN > 0 {
+		m.MeanEps = r.epsSum / float64(r.epsN)
+	}
 	m.MeanDelaySec = r.delayStats.Mean()
 	m.P99DelaySec = r.delayPercentile(0.99)
 	now := r.s.Now()

@@ -442,6 +442,7 @@ func (e *shardExec) reset(cfg Config) {
 			r.classes[i] = ClassMetrics{Name: cfg.Classes[i].Name}
 		}
 		r.decided, r.retries = 0, 0
+		r.epsSum, r.epsN = 0, 0
 		r.obs = nil
 		r.activeFlows, r.lastSample = 0, 0
 		r.delayStats = stats.Welford{}
@@ -520,6 +521,8 @@ func (e *shardExec) metrics() Metrics {
 		m.Classes[i].Name = e.cfg.Classes[i].Name
 	}
 	var sent, lost int64
+	var epsSum float64
+	var epsN int64
 	var delay stats.Welford
 	var hist [1001]int64
 	for _, sl := range e.slots {
@@ -539,6 +542,8 @@ func (e *shardExec) metrics() Metrics {
 		}
 		m.Decided += r.decided
 		m.Retries += r.retries
+		epsSum += r.epsSum
+		epsN += r.epsN
 		delay.Merge(r.delayStats)
 		for i, v := range r.delayHist {
 			hist[i] += v
@@ -553,6 +558,9 @@ func (e *shardExec) metrics() Metrics {
 	}
 	if m.Decided > 0 {
 		m.BlockingProb = float64(blocked) / float64(m.Decided)
+	}
+	if epsN > 0 {
+		m.MeanEps = epsSum / float64(epsN)
 	}
 	m.MeanDelaySec = delay.Mean()
 	m.P99DelaySec = delayPercentile(&hist, delay.N(), 0.99)
