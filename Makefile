@@ -1,7 +1,7 @@
 # Tier-1 flow: `make ci` is what a checkin must keep green.
 GO ?= go
 
-.PHONY: build test race vet bench bench-hotpath bench-grid bench-shard bench-policy bench-workload bench-check cache-clear cover ci conformance update-golden fuzz-smoke
+.PHONY: build test race vet bench bench-hotpath bench-grid bench-shard bench-hybrid bench-policy bench-workload bench-check cache-clear cover ci conformance update-golden fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,15 @@ bench-grid:
 # caveat on wall-clock ratios.
 bench-shard:
 	$(GO) test -run '^$$' -bench BenchmarkShard -benchmem -benchtime 3x -timeout 30m .
+
+# bench-hybrid measures the hybrid fluid/packet engine against the pure
+# packet engine on the MetroStar preset at 10^5 concurrent hosts: one
+# full single-seed run per iteration under each engine. Rewrites
+# results/BENCH_hybrid.json (wall clock per engine and the speedup
+# ratio, asserted >= 50x at full scale) and appends headline records to
+# results/BENCH_index.json.
+bench-hybrid:
+	$(GO) test -run '^$$' -bench BenchmarkHybrid -benchmem -benchtime 3x -timeout 30m .
 
 # bench-policy measures the admission-policy layer on the basic
 # bottleneck scenario: one full single-seed run per iteration under the

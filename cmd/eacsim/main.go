@@ -82,6 +82,7 @@ func main() {
 		hops     = flag.Int("hops", 0, "metro-star: links per chain (0 = preset default 3)")
 		hosts    = flag.Int("hosts", 0, "metro-star: target concurrent host population (0 = preset default 10000)")
 		shrds    = flag.Int("shards", 1, "shard the simulation across up to this many domains (conservative parallel DES; 0 = one per core). Clamped to what the topology and method support; sharded runs are statistically equivalent, not byte-identical, to serial ones")
+		hybrid   = flag.Bool("hybrid", false, "carry data phases as per-link fluid rates instead of packets (hybrid fluid/packet engine; probes stay packet-level). Orders of magnitude faster at large scale; requires -method eac or none and the serial path (exclusive with -shards > 1)")
 		probeDur = flag.Float64("probe", 5, "total probe duration, seconds")
 		useRED   = flag.Bool("red", false, "use a RED queue instead of drop-tail (in-band designs only)")
 		retries  = flag.Int("retries", 0, "max admission retries with exponential back-off")
@@ -253,6 +254,9 @@ func main() {
 		}
 	}
 
+	if *hybrid {
+		cfg.Hybrid.Enabled = true
+	}
 	switch {
 	case *shrds < 0:
 		log.Fatalf("-shards must be >= 0, got %d", *shrds)
@@ -262,7 +266,7 @@ func main() {
 		cfg.Shards = scenario.ShardableK(cfg, *shrds)
 	}
 	if *shrds != 1 && cfg.Shards == 1 {
-		log.Print("sharding: resolved to the serial path (single core with -shards 0, or unshardable topology or method)")
+		log.Print("sharding: resolved to the serial path (single core with -shards 0, or unshardable topology or method, or the hybrid engine)")
 	}
 
 	seedVals := scenario.DefaultSeeds(*seeds)
@@ -349,6 +353,10 @@ func main() {
 	}
 	if cfg.Shards > 1 {
 		fmt.Printf("shards   : %d (conservative windowed parallel DES; statistically equivalent to serial)\n", cfg.Shards)
+	}
+	if cfg.Hybrid.Active() {
+		fmt.Printf("hybrid   : fluid data plane, packet probes (max background share %.2f)\n",
+			cfg.WithDefaults().Hybrid.MaxShare)
 	}
 	if cfg.Method == scenario.EAC {
 		fmt.Printf("design   : %s, %s probing, eps=%.3g\n", cfg.AC.Design, cfg.AC.Kind, *eps)

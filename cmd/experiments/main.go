@@ -42,6 +42,7 @@ func main() {
 		warmup   = flag.Float64("warmup", 0, "override warm-up, seconds")
 		workers  = flag.Int("workers", 0, "parallel simulator runs (0 = one per core); results are identical for any value")
 		shards   = flag.Int("shards", 1, "shard each simulation across up to this many domains (conservative parallel DES; 0 = one per core). Unshardable points run serially; sharded output is statistically equivalent, not byte-identical — leave at 1 to reproduce published CSVs")
+		hybrid   = flag.Bool("hybrid", false, "run every endpoint-method point under the hybrid fluid/packet engine: data phases become per-link fluid rates, probes stay packets. Orders of magnitude faster at large scale; statistically close (see the hybrid crossval envelopes), not byte-identical — leave off to reproduce published CSVs")
 		outDir   = flag.String("out", "results", "directory for CSV output (empty = no files)")
 		verbose  = flag.Bool("v", false, "log every completed run")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
@@ -103,6 +104,7 @@ func main() {
 	opts.Warmup = sim.Seconds(*warmup)
 	opts.Workers = *workers
 	opts.Shards = *shards
+	opts.Hybrid = *hybrid
 	if *shards == 0 {
 		opts.Shards = runtime.GOMAXPROCS(0)
 	} else if *shards < 0 {

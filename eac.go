@@ -328,3 +328,54 @@ type (
 
 // SolveFluid computes the thrashing model's stationary metrics exactly.
 func SolveFluid(p FluidParams) (FluidResult, error) { return fluid.Solve(p) }
+
+// NewFluidSolver returns a reusable workspace for SolveFluid-equivalent
+// solves: its Solve method is identical to the package function but
+// recycles internal slabs across calls (zero steady-state allocations).
+func NewFluidSolver() *fluid.Solver { return fluid.NewSolver() }
+
+// Transient fluid model and hybrid engine (see DESIGN.md, "Hybrid
+// engine").
+type (
+	// HybridConfig enables the hybrid fluid/packet engine on a scenario
+	// (Config.Hybrid): data phases become per-link fluid rates, probes
+	// stay packets. The zero value keeps the pure packet engine with
+	// byte-identical output.
+	HybridConfig = scenario.HybridConfig
+	// FluidTransient parameterizes the mean-field ODE model of admission
+	// dynamics (time-varying counterpart of FluidParams).
+	FluidTransient = fluid.Transient
+	// FluidTransientResult holds a transient solve's trajectory and
+	// quasi-stationary tail averages.
+	FluidTransientResult = fluid.TransientResult
+	// FluidTransientSample is one trajectory point of a transient solve.
+	FluidTransientSample = fluid.TransientSample
+	// FluidQueueModel selects the queue/marking approximation mapping
+	// utilization to a congestion signal.
+	FluidQueueModel = fluid.QueueModel
+)
+
+// Queue/marking approximations for the transient model and the hybrid
+// engine's per-link fluid state.
+const (
+	// FluidBufferless is the paper's own fluid loss signal max(0, 1-1/rho).
+	FluidBufferless = fluid.QueueBufferless
+	// FluidDropTail is the M/M/1/B diffusion overflow probability.
+	FluidDropTail = fluid.QueueDropTail
+	// FluidREDApprox is RED's linear marking profile on the mean queue.
+	FluidREDApprox = fluid.QueueREDApprox
+	// FluidVirtual is drop-tail applied to a virtual queue (footnote 14).
+	FluidVirtual = fluid.QueueVirtual
+)
+
+// SolveFluidTransient integrates the mean-field admission ODE with RK4,
+// returning the trajectory and its quasi-stationary tail.
+func SolveFluidTransient(tr FluidTransient) (FluidTransientResult, error) {
+	return fluid.SolveTransient(tr)
+}
+
+// FluidMarkProb maps utilization rho to a drop/mark probability under the
+// given queue model with the given buffer (packets).
+func FluidMarkProb(m FluidQueueModel, rho float64, buffer int) float64 {
+	return fluid.MarkProb(m, rho, buffer)
+}

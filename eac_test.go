@@ -74,6 +74,44 @@ func TestPublicFluid(t *testing.T) {
 	}
 }
 
+func TestPublicFluidTransient(t *testing.T) {
+	res, err := eac.SolveFluidTransient(eac.FluidTransient{
+		Params:     eac.FluidParams{Tprobe: 3},
+		HorizonSec: 200,
+		SampleSec:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no trajectory samples")
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Fatalf("transient utilization = %v", res.Utilization)
+	}
+	if p := eac.FluidMarkProb(eac.FluidDropTail, 1.2, 40); p <= 0 || p >= 1 {
+		t.Fatalf("drop-tail mark prob = %v", p)
+	}
+	if eac.NewFluidSolver() == nil {
+		t.Fatal("nil fluid solver")
+	}
+}
+
+func TestPublicHybrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	cfg := facadeCfg()
+	cfg.Hybrid = eac.HybridConfig{Enabled: true}
+	m, err := eac.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Utilization <= 0 || m.Decided == 0 {
+		t.Fatalf("hybrid run: util=%v decided=%d", m.Utilization, m.Decided)
+	}
+}
+
 func TestPublicTCPShare(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation")

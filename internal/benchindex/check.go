@@ -47,6 +47,7 @@ var SeriesTolerance = map[string]float64{
 // the index (ns, allocs) is lower-is-better.
 var HigherIsBetter = map[string]bool{
 	"load_balance_speedup_bound": true,
+	"hybrid_speedup":             true,
 }
 
 // SeriesCheck is the verdict for one series. A series is one

@@ -1,0 +1,100 @@
+package conformance
+
+import (
+	"fmt"
+	"strings"
+
+	"eac/internal/scenario"
+)
+
+// Hybrid cross-validation: the hybrid fluid/packet engine against the
+// pure packet simulator on the one shared CrossConfig. Unlike the
+// fluid-model crossval (analytic stationary solution vs simulation),
+// both sides here are full scenario runs — the hybrid engine replaces
+// only the data plane, so admission dynamics, probe quantization, and
+// the retry machinery are identical and the envelopes can be tighter
+// than the fluid-model ones at the same loads. The CBR flow class makes
+// the fluid representation of a data phase exact in rate; what remains
+// is the diffusion queue approximation against the real buffer.
+
+// HybridScenarioConfig maps the shared config onto the packet simulator
+// with the hybrid engine enabled: the CBR data phases ride the fluid
+// plane, probes stay packets.
+func (cc CrossConfig) HybridScenarioConfig() scenario.Config {
+	c := cc.ScenarioConfig()
+	c.Hybrid.Enabled = true
+	return c
+}
+
+// HybridBounds is the documented agreement envelope between the hybrid
+// engine and the packet simulator for one setup — absolute differences,
+// like CrossBounds, and for the same reason.
+type HybridBounds struct {
+	UtilAbs  float64 // |packet util - hybrid util|
+	BlockAbs float64 // |packet blocking - hybrid blocking|
+}
+
+// HybridResult holds both engines' answers for one shared config.
+type HybridResult struct {
+	Config CrossConfig
+	Packet scenario.Metrics
+	Hybrid scenario.Metrics
+}
+
+// HybridCrossValidate runs the packet and hybrid engines on the shared
+// config (each averaged over the given seeds) and returns the paired
+// results.
+func HybridCrossValidate(cc CrossConfig, seeds []uint64) (HybridResult, error) {
+	return HybridCrossValidateWith(cc, seeds, nil)
+}
+
+// HybridCrossValidateWith is HybridCrossValidate with a mutation applied
+// to the hybrid config only (nil for none). The seam exists so the
+// conformance tests can prove the envelopes are non-vacuous: a
+// deliberately broken hybrid config must fail Check.
+func HybridCrossValidateWith(cc CrossConfig, seeds []uint64, mutate func(*scenario.Config)) (HybridResult, error) {
+	pm, err := scenario.RunSeeds(cc.ScenarioConfig(), seeds)
+	if err != nil {
+		return HybridResult{}, fmt.Errorf("packet run: %w", err)
+	}
+	hc := cc.HybridScenarioConfig()
+	if mutate != nil {
+		mutate(&hc)
+	}
+	hm, err := scenario.RunSeeds(hc, seeds)
+	if err != nil {
+		return HybridResult{}, fmt.Errorf("hybrid run: %w", err)
+	}
+	return HybridResult{Config: cc, Packet: pm.Mean, Hybrid: hm.Mean}, nil
+}
+
+// Check compares the two engines within the given bounds. On failure the
+// error carries the full side-by-side report.
+func (r HybridResult) Check(b HybridBounds) error {
+	var bad []string
+	if d := absf(r.Packet.Utilization - r.Hybrid.Utilization); d > b.UtilAbs {
+		bad = append(bad, fmt.Sprintf("utilization differs by %.4f (bound %.4f)", d, b.UtilAbs))
+	}
+	if d := absf(r.Packet.BlockingProb - r.Hybrid.BlockingProb); d > b.BlockAbs {
+		bad = append(bad, fmt.Sprintf("blocking differs by %.4f (bound %.4f)", d, b.BlockAbs))
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("packet and hybrid engines disagree on %q:\n  %s\n%s",
+		r.Config.Name, strings.Join(bad, "\n  "), r.Report())
+}
+
+// Report renders a side-by-side comparison table.
+func (r HybridResult) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "hybrid cross-validation %q (offered load %.2f):\n", r.Config.Name, r.Config.OfferedLoad())
+	fmt.Fprintf(&sb, "  %-14s %10s %10s %10s\n", "metric", "packet", "hybrid", "delta")
+	row := func(name string, p, h float64) {
+		fmt.Fprintf(&sb, "  %-14s %10.4f %10.4f %+10.4f\n", name, p, h, p-h)
+	}
+	row("utilization", r.Packet.Utilization, r.Hybrid.Utilization)
+	row("blocking", r.Packet.BlockingProb, r.Hybrid.BlockingProb)
+	row("data loss", r.Packet.DataLossProb, r.Hybrid.DataLossProb)
+	return sb.String()
+}

@@ -155,6 +155,13 @@ func (o Options) runJobs(jobs []Job) error {
 				c.Policy == (admission.PolicyConfig{}) {
 				c.Policy = o.Policy
 			}
+			if o.Hybrid && !c.Hybrid.Active() &&
+				(c.Method == scenario.EAC || c.Method == scenario.None) {
+				c.Hybrid.Enabled = true
+				// The hybrid engine is serial-only: drop any Shards count
+				// the o.Shards override set above.
+				c.Shards = 0
+			}
 			// Workload overrides follow the Policy rule: only jobs that
 			// did not pick a temporal source of their own are modulated,
 			// so experiments that sweep nonstationarity explicitly keep

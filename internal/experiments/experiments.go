@@ -102,6 +102,14 @@ type Options struct {
 	// no-own-temporal-source rule as Schedule: the -load.replay
 	// command-line flag threads through here.
 	Replay *scenario.ReplayTrace
+	// Hybrid, when true, runs every sweep point that supports it under
+	// the hybrid fluid/packet engine (scenario.Config.Hybrid): data
+	// phases become per-link fluid rates, probes stay packets. Jobs whose
+	// method the engine cannot serve (MBAC, Passive — they measure data
+	// packets) and jobs that configured Hybrid themselves are left
+	// untouched. Hybrid runs fingerprint — and cache — separately from
+	// packet runs; leave this false to reproduce published CSVs exactly.
+	Hybrid bool
 }
 
 // Quick returns quick-mode options.

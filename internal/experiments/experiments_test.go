@@ -40,8 +40,8 @@ func TestTableCSV(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("expected 17 experiments (9 figures + 4 tables + figure11 + 2 policy + flash_crowd), got %d", len(all))
+	if len(all) != 18 {
+		t.Fatalf("expected 18 experiments (9 figures + figure2_hybrid + 4 tables + figure11 + 2 policy + flash_crowd), got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, ex := range all {

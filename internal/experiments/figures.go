@@ -97,6 +97,55 @@ func Figure2(o Options) (Table, error) {
 	return t, err
 }
 
+// Figure2Hybrid regenerates the Figure 2 endpoint-design grid twice —
+// once on the packet engine, once on the hybrid fluid/packet engine —
+// and emits each operating point side by side. It is the experiment-level
+// face of the hybrid crossval: the columns make the engines' agreement
+// (and the hybrid's systematic smoothing of burst loss) directly
+// readable. MBAC is omitted (the hybrid engine requires an endpoint
+// method).
+func Figure2Hybrid(o Options) (Table, error) {
+	o = o.sequenced()
+	t := Table{
+		ID:    "figure2_hybrid",
+		Title: "Basic scenario, packet vs hybrid engine (EXP1, tau=3.5s, slow-start)",
+		Header: []string{"design", "eps", "util_pkt", "util_hyb",
+			"loss_pkt", "loss_hyb", "block_pkt", "block_hyb"},
+		Notes: "same operating points as figure2; _hyb columns ran with Config.Hybrid enabled",
+	}
+	base := o.base(3.5)
+	base.Classes = classes1(trafgen.EXP1)
+	var jobs []Job
+	var pkt scenario.Metrics // filled by each point's packet job, read by its hybrid job
+	for _, d := range admission.Designs {
+		for _, eps := range o.epsFor(d) {
+			cfg := eacCfg(base, d, admission.SlowStart, eps)
+			hcfg := cfg
+			hcfg.Hybrid.Enabled = true
+			d, eps := d, eps
+			// Done callbacks fire in declaration order on one goroutine, so
+			// the packet job's metrics are in pkt when the hybrid job lands.
+			jobs = append(jobs, Job{
+				Label: fmt.Sprintf("%s %s eps=%.2f pkt", t.ID, d, eps),
+				Cfg:   cfg,
+				Done: func(mm scenario.MultiMetrics) error {
+					pkt = mm.Mean
+					return nil
+				},
+			})
+			jobs = append(jobs, o.stdJob(fmt.Sprintf("%s %s eps=%.2f hyb", t.ID, d, eps), hcfg,
+				rowsOf(&t), func(m scenario.Metrics) []string {
+					return []string{d.String(), fmt.Sprintf("%.2f", eps),
+						f(pkt.Utilization), f(m.Utilization),
+						e(pkt.DataLossProb), e(m.DataLossProb),
+						f2(pkt.BlockingProb), f2(m.BlockingProb)}
+				}))
+		}
+	}
+	err := o.runJobs(jobs)
+	return t, err
+}
+
 // Figure3 compares 5 s and 25 s slow-start probing for in-band dropping.
 func Figure3(o Options) (Table, error) {
 	o = o.sequenced()

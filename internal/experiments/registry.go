@@ -14,6 +14,7 @@ func All() []Experiment {
 	return []Experiment{
 		{"figure1", "Thrashing fluid model", Figure1},
 		{"figure2", "Basic scenario loss-load curves", Figure2},
+		{"figure2_hybrid", "Basic scenario, packet vs hybrid engine", Figure2Hybrid},
 		{"figure3", "Longer probing", Figure3},
 		{"figure4", "High load, in-band dropping", Figure4},
 		{"figure5", "High load, out-of-band dropping", Figure5},

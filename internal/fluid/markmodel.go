@@ -1,0 +1,155 @@
+package fluid
+
+import "math"
+
+// This file holds the diffusion-approximation queue/marking models the
+// transient solver and the hybrid engine share. The stationary GTH model
+// (fluid.go) measures congestion with the bufferless fluid loss fraction;
+// real links have finite buffers, RED profiles, or virtual-queue markers,
+// and the hybrid engine needs a closed-form probability that a packet
+// offered to such a link at aggregate load rho*C is dropped or marked.
+//
+// Following the fluid/diffusion limits of AQM queues studied by Marek et
+// al. (arXiv 1911.02546), the queue-length process at load rho is
+// approximated by its heavy-traffic birth-death limit, whose stationary
+// overflow probability for a buffer of B packets is the M/M/1/B loss
+//
+//	p(B, rho) = (1-rho) rho^B / (1 - rho^{B+1})
+//
+// which degrades gracefully through rho = 1 (p -> 1/(B+1)) and converges
+// to the bufferless fluid fraction (rho-1)/rho as B grows in overload —
+// so the bufferless model of fluid.go is the B -> infinity member of the
+// same family. RED is approximated by evaluating its linear marking
+// profile at the diffusion mean queue length, and a virtual queue is the
+// drop-tail model evaluated at the shadow service rate (the caller
+// rescales rho by 1/VQFactor).
+
+// QueueModel selects the queue/marking approximation used to turn an
+// instantaneous offered load into a per-packet drop or mark probability.
+type QueueModel uint8
+
+const (
+	// QueueBufferless is the paper's own fluid measurement: loss fraction
+	// max(0, (rho-1)/rho), zero below capacity. This is what the GTH
+	// stationary model uses, so it is the model to pick when pinning the
+	// transient solver against Solve.
+	QueueBufferless QueueModel = iota
+	// QueueDropTail is the diffusion (M/M/1/B) overflow probability of a
+	// shared drop-tail buffer of B packets.
+	QueueDropTail
+	// QueueREDApprox evaluates RED's linear marking profile (classic
+	// thresholds MinTh = B/12, MaxTh = 3*MinTh, MaxP = 0.02, matching
+	// netsim.REDConfig defaults) at the diffusion mean queue length,
+	// switching to the drop-tail overflow probability once the mean queue
+	// saturates the buffer.
+	QueueREDApprox
+	// QueueVirtual is the drop-tail model applied to a virtual queue: the
+	// caller passes rho already scaled by the shadow speed (rho/VQFactor)
+	// and the shadow buffer in packets.
+	QueueVirtual
+)
+
+func (m QueueModel) String() string {
+	switch m {
+	case QueueDropTail:
+		return "drop-tail"
+	case QueueREDApprox:
+		return "red"
+	case QueueVirtual:
+		return "virtual-queue"
+	default:
+		return "bufferless"
+	}
+}
+
+// MarkProb returns the probability that a packet offered to a link
+// running at utilization rho (offered load / service rate) is dropped
+// (drop-tail, bufferless) or marked (RED, virtual queue), for a buffer of
+// buffer packets. rho < 0 is treated as 0. For QueueVirtual the caller
+// pre-scales rho by 1/VQFactor so the formula sees the shadow queue's own
+// utilization.
+func MarkProb(m QueueModel, rho float64, buffer int) float64 {
+	if rho <= 0 {
+		return 0
+	}
+	switch m {
+	case QueueDropTail, QueueVirtual:
+		return dropTailLoss(rho, buffer)
+	case QueueREDApprox:
+		return redMark(rho, buffer)
+	default: // QueueBufferless
+		if rho <= 1 {
+			return 0
+		}
+		return (rho - 1) / rho
+	}
+}
+
+// dropTailLoss is the M/M/1/B loss probability, computed on whichever
+// side of rho = 1 is numerically stable. Buffer <= 0 degenerates to the
+// bufferless fluid fraction.
+func dropTailLoss(rho float64, buffer int) float64 {
+	if buffer <= 0 {
+		if rho <= 1 {
+			return 0
+		}
+		return (rho - 1) / rho
+	}
+	b := float64(buffer)
+	if math.Abs(rho-1) < 1e-9 {
+		return 1 / (b + 1)
+	}
+	if rho < 1 {
+		rb := math.Pow(rho, b)
+		return (1 - rho) * rb / (1 - rho*rb)
+	}
+	// rho > 1: multiply through by rho^-(B+1) so nothing overflows; as
+	// B -> infinity this tends to the bufferless (rho-1)/rho.
+	inv := math.Pow(1/rho, b)
+	return (rho - 1) / (rho - inv)
+}
+
+// redMark evaluates RED's linear profile at the diffusion mean queue
+// length E[Q] = rho^2/(1-rho), clamped to the buffer; at and beyond
+// saturation the drop-tail overflow probability takes over (RED always
+// drops above MaxTh, and the hard buffer still tail-drops).
+func redMark(rho float64, buffer int) float64 {
+	if buffer <= 0 {
+		return dropTailLoss(rho, buffer)
+	}
+	b := float64(buffer)
+	minTh := b / 12
+	if minTh < 5 {
+		minTh = 5
+	}
+	maxTh := 3 * minTh
+	const maxP = 0.02
+	var meanQ float64
+	if rho >= 1 {
+		meanQ = b
+	} else {
+		meanQ = rho * rho / (1 - rho)
+		if meanQ > b {
+			meanQ = b
+		}
+	}
+	switch {
+	case meanQ <= minTh:
+		return dropTailLoss(rho, buffer)
+	case meanQ < maxTh:
+		early := maxP * (meanQ - minTh) / (maxTh - minTh)
+		return early + (1-early)*dropTailLoss(rho, buffer)
+	default:
+		// Above MaxTh RED drops every arrival in the classic profile;
+		// blend toward certainty as the mean queue approaches the buffer.
+		over := (meanQ - maxTh) / (b - maxTh + 1)
+		p := maxP + (1-maxP)*over
+		if p > 1 {
+			p = 1
+		}
+		if dt := dropTailLoss(rho, buffer); dt > p {
+			p = dt
+		}
+		return p
+	}
+}

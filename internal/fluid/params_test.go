@@ -1,0 +1,95 @@
+package fluid
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParamsZeroAsUnset pins the documented unset convention on Params:
+// every field WithDefaults fills must be one whose zero is invalid (Solve
+// rejects it), so defaulting cannot clobber a meaningful explicit zero;
+// fields where zero IS meaningful (Eps, DataOnlyAdmission) must pass
+// through untouched. The reflection walk forces every future field to be
+// classified into exactly one of the two sets.
+func TestParamsZeroAsUnset(t *testing.T) {
+	// Fields WithDefaults fills; zero is invalid for all of them.
+	defaulted := map[string]bool{
+		"Lambda": true, "Tlife": true, "Tprobe": true,
+		"CapBps": true, "RateBps": true, "MaxP": true,
+	}
+	// Fields whose zero is a valid configuration; must survive defaults.
+	zeroMeaningful := map[string]bool{
+		"Eps": true, "DataOnlyAdmission": true,
+	}
+
+	d := Params{}.WithDefaults()
+	dv := reflect.ValueOf(d)
+	tp := reflect.TypeOf(Params{})
+	for i := 0; i < tp.NumField(); i++ {
+		f := tp.Field(i)
+		switch {
+		case defaulted[f.Name]:
+			// Must have been filled with a strictly positive value.
+			fv := dv.Field(i)
+			var pos bool
+			switch fv.Kind() {
+			case reflect.Float64:
+				pos = fv.Float() > 0
+			case reflect.Int:
+				pos = fv.Int() > 0
+			}
+			if !pos {
+				t.Errorf("defaulted field %s is not strictly positive after WithDefaults: %v", f.Name, fv)
+			}
+		case zeroMeaningful[f.Name]:
+			if !dv.Field(i).IsZero() {
+				t.Errorf("field %s has a meaningful zero but WithDefaults changed it to %v — this is the zero-as-unset clobbering bug", f.Name, dv.Field(i))
+			}
+		default:
+			t.Errorf("Params field %s is not classified: add it to the defaulted set (zero invalid) or the zero-meaningful set (skip WithDefaults) and update the Params doc comment", f.Name)
+		}
+	}
+
+	// Explicit values — including the meaningful zero of Eps — must pass
+	// through WithDefaults untouched.
+	in := Params{Lambda: 2, Tlife: 7, Tprobe: 0.25, CapBps: 5e6, RateBps: 64e3, Eps: 0, MaxP: 33, DataOnlyAdmission: true}
+	if out := in.WithDefaults(); out != in {
+		t.Errorf("WithDefaults clobbered explicit values:\n in %+v\nout %+v", in, out)
+	}
+	in.Eps = 0.05
+	if out := in.WithDefaults(); out != in {
+		t.Errorf("WithDefaults clobbered explicit eps:\n in %+v\nout %+v", in, out)
+	}
+
+	// And the strict zero-loss threshold is genuinely honored by the
+	// model: eps = 0 must give a tighter admit limit than eps = 0.2.
+	strict := Params{CapBps: 1e6, RateBps: 128e3, Eps: 0}.WithDefaults()
+	loose := strict
+	loose.Eps = 0.2
+	if strict.admitLimit() >= loose.admitLimit() {
+		t.Errorf("eps=0 admit limit %d not tighter than eps=0.2 limit %d", strict.admitLimit(), loose.admitLimit())
+	}
+}
+
+// TestTransientZeroAsUnset extends the convention to the Transient
+// wrapper: its defaulted fields are all zero-invalid, and A0/P0 (zero = a
+// genuinely empty system) are never touched.
+func TestTransientZeroAsUnset(t *testing.T) {
+	d := Transient{}.withDefaults()
+	if d.BufferPkts <= 0 || d.VQFactor <= 0 || d.ProbePkts <= 0 || d.StepSec <= 0 || d.HorizonSec <= 0 {
+		t.Errorf("transient defaults not strictly positive: %+v", d)
+	}
+	if d.WarmupSec <= 0 || d.WarmupSec >= d.HorizonSec {
+		t.Errorf("default warmup %v not inside (0, horizon %v)", d.WarmupSec, d.HorizonSec)
+	}
+	if d.A0 != 0 || d.P0 != 0 {
+		t.Errorf("withDefaults touched initial populations: a0=%v p0=%v", d.A0, d.P0)
+	}
+	in := Transient{BufferPkts: 7, VQFactor: 0.5, ProbePkts: 3, StepSec: 0.5, HorizonSec: 100, WarmupSec: 10, A0: 1, P0: 2}
+	out := in.withDefaults()
+	in.Params = in.Params.WithDefaults()
+	if out.BufferPkts != 7 || out.VQFactor != 0.5 || out.ProbePkts != 3 || out.StepSec != 0.5 ||
+		out.HorizonSec != 100 || out.WarmupSec != 10 || out.A0 != 1 || out.P0 != 2 {
+		t.Errorf("withDefaults clobbered explicit transient fields: %+v", out)
+	}
+}

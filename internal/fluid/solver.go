@@ -1,0 +1,227 @@
+package fluid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solver is a reusable workspace for the GTH stationary solve. Solve
+// allocates three slabs per call — the N*W band matrix (tens of
+// megabytes at MaxP = 400), the elimination denominators, and the
+// unnormalized distribution — and calibration sweeps (hybrid crossval,
+// Figure 1) solve many parameter points back to back. A Solver keeps the
+// slabs between calls and reuses them whenever the state-space geometry
+// fits, mirroring the scenario.Workspace pattern: results are bitwise
+// identical to the one-shot Solve (the slabs are fully rewritten — the
+// band matrix is cleared, denom and pi are overwritten in order), only
+// the allocation profile changes. A Solver is single-goroutine state;
+// concurrent sweeps construct one per worker.
+type Solver struct {
+	rates, denom, pi []float64
+}
+
+// NewSolver returns an empty workspace; slabs are allocated on first use.
+func NewSolver() *Solver { return &Solver{} }
+
+// grow returns buf resized to n, zeroed, reusing its backing array when
+// it is large enough.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// Solve computes the stationary distribution and metrics of the model,
+// reusing this workspace's slabs. See the package comment and Params for
+// the model; see Solve (the package function) for the one-shot form.
+func (sv *Solver) Solve(p Params) (Result, error) {
+	p = p.WithDefaults()
+	if p.Lambda <= 0 || p.Tlife <= 0 || p.Tprobe <= 0 || p.CapBps <= 0 || p.RateBps <= 0 {
+		return Result{}, fmt.Errorf("fluid: all rates and durations must be positive: %+v", p)
+	}
+	if p.Eps < 0 || p.Eps >= 1 {
+		return Result{}, fmt.Errorf("fluid: eps must be in [0,1): %v", p.Eps)
+	}
+	n := p.admitLimit() // a+p <= n admits; so a ranges 0..n
+	if n < 1 {
+		return Result{}, fmt.Errorf("fluid: capacity below one flow (C=%v r=%v)", p.CapBps, p.RateBps)
+	}
+	A := n      // max accepted population
+	L := p.MaxP // truncation level for p
+	m := A + 1  // states per level
+	N := m * (L + 1)
+	mu, nup, lam := 1/p.Tlife, 1/p.Tprobe, p.Lambda
+
+	// phi is the fluid delivery fraction: the share of its nominal rate a
+	// flow actually pushes through the link.
+	phi := func(a, q int) float64 {
+		tot := float64(a+q) * p.RateBps
+		if tot <= p.CapBps {
+			return 1
+		}
+		return p.CapBps / tot
+	}
+	// admitOK is the perfect-measurement acceptance test applied when a
+	// probe completes in state (a, q) (the prober included in q).
+	admitOK := func(a, q int) bool {
+		if p.DataOnlyAdmission {
+			return a+1 <= n
+		}
+		return a+q <= n
+	}
+
+	// State index: s = q*m + a. Transition offsets: +m (arrival), -1
+	// (departure), -m (probe rejected), -m+1 (probe admitted). All within
+	// bandwidth B = m.
+	B := m
+	W := 2*B + 1 // band window per state: columns s-B .. s+B
+	sv.rates = grow(sv.rates, N*W)
+	rates := sv.rates
+	at := func(s, d int) *float64 { return &rates[s*W+(d+B)] }
+	for q := 0; q <= L; q++ {
+		for a := 0; a <= A; a++ {
+			s := q*m + a
+			if q < L {
+				*at(s, m) = lam
+			}
+			if a > 0 {
+				*at(s, -1) = float64(a) * mu
+			}
+			if q > 0 {
+				r := float64(q) * nup * phi(a, q)
+				if admitOK(a, q) && a+1 <= A {
+					*at(s, -m+1) = r
+				} else {
+					*at(s, -m) = r
+				}
+			}
+		}
+	}
+
+	// GTH state reduction from the highest state down. Eliminating state
+	// s redirects i -> s -> j through i -> j for i, j < s; because all of
+	// s's neighbours lie within [s-B, s+B] and states above s are already
+	// eliminated, fill-in stays inside the band. denom[s] stores the
+	// total rate out of s to lower states at elimination time.
+	sv.denom = grow(sv.denom, N)
+	denom := sv.denom
+	for s := N - 1; s >= 1; s-- {
+		lo := s - B
+		if lo < 0 {
+			lo = 0
+		}
+		var total float64
+		for j := lo; j < s; j++ {
+			total += *at(s, j-s)
+		}
+		denom[s] = total
+		if total <= 0 {
+			return Result{}, fmt.Errorf("fluid: state %d has no path to lower states (disconnected chain)", s)
+		}
+		for i := lo; i < s; i++ {
+			rIn := *at(i, s-i)
+			if rIn == 0 {
+				continue
+			}
+			f := rIn / total
+			for j := lo; j < s; j++ {
+				if j == i {
+					continue
+				}
+				if rOut := *at(s, j-s); rOut != 0 {
+					*at(i, j-i) += f * rOut
+				}
+			}
+		}
+	}
+
+	// Back-substitution: unnormalized pi[0] = 1, then
+	// pi[s] = sum_{i<s} pi[i] * rate(i->s) / denom[s], rescaling on the
+	// fly so the thrashing regime (mass growing geometrically with the
+	// level) cannot overflow.
+	sv.pi = grow(sv.pi, N)
+	pi := sv.pi
+	pi[0] = 1
+	runningMax := 1.0
+	for s := 1; s < N; s++ {
+		lo := s - B
+		if lo < 0 {
+			lo = 0
+		}
+		var v float64
+		for i := lo; i < s; i++ {
+			if r := *at(i, s-i); r != 0 {
+				v += pi[i] * r
+			}
+		}
+		pi[s] = v / denom[s]
+		if pi[s] > runningMax {
+			runningMax = pi[s]
+		}
+		if runningMax > 1e250 {
+			inv := 1 / runningMax
+			for i := 0; i <= s; i++ {
+				pi[i] *= inv
+			}
+			runningMax = 1
+		}
+	}
+	var total float64
+	for _, v := range pi {
+		total += v
+	}
+	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return Result{}, fmt.Errorf("fluid: normalization failed (total=%v)", total)
+	}
+
+	// Metrics.
+	var res Result
+	var accMass, inbandDelivered float64
+	var offered, lost float64         // all in-band packets (data + probes)
+	var dataOffered, dataLost float64 // data only
+	var probeDone, probeRejected float64
+	for q := 0; q <= L; q++ {
+		for a := 0; a <= A; a++ {
+			pr := pi[q*m+a] / total
+			if pr == 0 {
+				continue
+			}
+			res.MeanAccepted += pr * float64(a)
+			res.MeanProbing += pr * float64(q)
+			R := float64(a+q) * p.RateBps
+			dataRate := float64(a) * p.RateBps
+			frac := 0.0
+			if R > p.CapBps {
+				frac = (R - p.CapBps) / R
+			}
+			accMass += pr * dataRate
+			inbandDelivered += pr * dataRate * (1 - frac)
+			offered += pr * R
+			lost += pr * R * frac
+			dataOffered += pr * dataRate
+			dataLost += pr * dataRate * frac
+			if q > 0 {
+				rate := pr * float64(q) * nup * phi(a, q)
+				probeDone += rate
+				if !admitOK(a, q) {
+					probeRejected += rate
+				}
+			}
+		}
+	}
+	res.Utilization = accMass / p.CapBps
+	res.InBandUtilization = inbandDelivered / p.CapBps
+	if offered > 0 {
+		res.InBandLoss = lost / offered
+	}
+	if dataOffered > 0 {
+		res.DataLoss = dataLost / dataOffered
+	}
+	if probeDone > 0 {
+		res.Blocking = probeRejected / probeDone
+	}
+	return res, nil
+}

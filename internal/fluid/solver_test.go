@@ -1,0 +1,94 @@
+package fluid
+
+import "testing"
+
+var solverGridParams = []Params{
+	{},         // Figure 1 defaults
+	{Eps: 0.1}, // loose threshold
+	{Lambda: 1 / 0.35, Tprobe: 10, MaxP: 200}, // thrashing regime
+	{CapBps: 1e7, MaxP: 100},                  // larger system, smaller truncation
+}
+
+// TestSolverMatchesSolve pins the Solver contract: a reused workspace
+// returns bitwise-identical results to the one-shot Solve, including when
+// the state-space geometry shrinks and grows between calls.
+func TestSolverMatchesSolve(t *testing.T) {
+	sv := NewSolver()
+	// Interleave shapes to force both shrink-reuse and regrow paths.
+	order := append(append([]Params{}, solverGridParams...), solverGridParams[0], solverGridParams[2])
+	for i, p := range order {
+		want, errWant := Solve(p)
+		got, errGot := sv.Solve(p)
+		if (errWant == nil) != (errGot == nil) {
+			t.Fatalf("call %d: error mismatch: %v vs %v", i, errWant, errGot)
+		}
+		if got != want {
+			t.Errorf("call %d (%+v): solver result diverged from one-shot:\n got %+v\nwant %+v", i, p, got, want)
+		}
+	}
+}
+
+func TestSolverRejectsBadParams(t *testing.T) {
+	sv := NewSolver()
+	if _, err := sv.Solve(Params{Lambda: -1}); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	// The workspace must still be usable after a failed call.
+	if _, err := sv.Solve(Params{}); err != nil {
+		t.Errorf("solver unusable after failed call: %v", err)
+	}
+}
+
+// TestSolverAllocReduction pins the point of the workspace: after warmup
+// a reused Solver does not reallocate its slabs.
+func TestSolverAllocReduction(t *testing.T) {
+	p := Params{}.WithDefaults()
+	sv := NewSolver()
+	if _, err := sv.Solve(p); err != nil {
+		t.Fatal(err)
+	}
+	warm := testing.AllocsPerRun(3, func() {
+		if _, err := sv.Solve(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cold := testing.AllocsPerRun(3, func() {
+		if _, err := Solve(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if warm > 2 {
+		t.Errorf("warm Solver.Solve allocates %v times per call, want <= 2", warm)
+	}
+	if cold < 3 {
+		t.Errorf("one-shot Solve allocates %v times per call; expected at least the three slabs — benchmark baseline is stale", cold)
+	}
+}
+
+// BenchmarkFluidSolve / BenchmarkFluidSolver pin the allocation reduction
+// in benchmark form (run with -benchmem): the one-shot form pays the full
+// N*W band matrix per call, the workspace pays it once.
+func BenchmarkFluidSolve(b *testing.B) {
+	p := Params{}.WithDefaults()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFluidSolver(b *testing.B) {
+	p := Params{}.WithDefaults()
+	sv := NewSolver()
+	if _, err := sv.Solve(p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -78,7 +78,8 @@ type Link struct {
 	RateBps float64
 	Delay   sim.Time
 	Q       Discipline
-	Marker  *VirtualQueue // optional ECN shadow queue
+	Marker  *VirtualQueue    // optional ECN shadow queue
+	Bg      *FluidBackground // optional hybrid-engine fluid background
 
 	// VQDropProbes selects the paper's footnote-14 "virtual dropping"
 	// behaviour: when the shadow queue would mark a probe packet, the
@@ -143,7 +144,7 @@ func (l *Link) String() string { return fmt.Sprintf("link(%s)", l.Name) }
 // on a Reset simulator, retaining the pipe ring's backing array (and the
 // discipline's, which keeps its own arrays but is emptied). Packets still
 // queued, in transmission, or propagating are handed to recycle (nil
-// discards them to the garbage collector). The hooks — Marker,
+// discards them to the garbage collector). The hooks — Marker, Bg,
 // VQDropProbes, Boundary, OnDrop, OnArrive, Tap — are cleared; the owner
 // reattaches whatever the new run needs. Callers that change the buffer capacity or
 // the discipline kind assign l.Q (or call PriorityPushout.SetCap) after
@@ -181,6 +182,7 @@ func (l *Link) Reset(rateBps float64, delay sim.Time, recycle func(*Packet)) {
 	l.busy = false
 	l.Stats = LinkStats{}
 	l.Marker = nil
+	l.Bg = nil
 	l.VQDropProbes = false
 	l.Boundary = false
 	l.OnDrop, l.OnArrive, l.Tap = nil, nil, nil
@@ -206,6 +208,14 @@ func (l *Link) Receive(now sim.Time, p *Packet) {
 // receiveFast is the tap-free arrival path.
 func (l *Link) receiveFast(now sim.Time, p *Packet) {
 	marked := l.Marker != nil && l.Marker.OnArrival(now, p)
+	if l.Bg != nil {
+		drop, mark := l.Bg.arrival(p.Kind)
+		if drop {
+			l.dropFast(now, p)
+			return
+		}
+		marked = marked || mark
+	}
 	if marked && l.VQDropProbes && p.Kind == Probe {
 		l.dropFast(now, p)
 		return
@@ -231,6 +241,14 @@ func (l *Link) receiveFast(now sim.Time, p *Packet) {
 // observability tap (known non-nil here).
 func (l *Link) receiveTraced(now sim.Time, p *Packet) {
 	marked := l.Marker != nil && l.Marker.OnArrival(now, p)
+	if l.Bg != nil {
+		drop, mark := l.Bg.arrival(p.Kind)
+		if drop {
+			l.dropTraced(now, p)
+			return
+		}
+		marked = marked || mark
+	}
 	if marked && l.VQDropProbes && p.Kind == Probe {
 		l.dropTraced(now, p)
 		return

@@ -178,6 +178,12 @@ type Sample struct {
 	// Cumulative link counters since the last stats reset, indexed by
 	// packet kind (netsim.Data, netsim.Probe).
 	Arrived, Dropped, Marked, SentPkts [2]int64
+
+	// Hybrid-engine fluid trajectory (zero without a fluid background):
+	// FluidBg is the offered background rate in bits/s, FluidMark the
+	// combined drop-or-mark probability the fluid presents to foreground
+	// packets at this instant.
+	FluidBg, FluidMark float64
 }
 
 // Decisions aggregates admission outcomes observed by the collector.
@@ -371,7 +377,8 @@ func (c *Collector) DecisionCounts() Decisions {
 func (c *Collector) WriteSeries(w io.Writer) error {
 	if _, err := io.WriteString(w, "t_s,link,depth,busy,active_flows,util,vq_backlog_bytes,"+
 		"data_arrived,data_dropped,data_marked,data_sent_pkts,"+
-		"probe_arrived,probe_dropped,probe_marked,probe_sent_pkts\n"); err != nil {
+		"probe_arrived,probe_dropped,probe_marked,probe_sent_pkts,"+
+		"fluid_bg_bps,fluid_mark\n"); err != nil {
 		return err
 	}
 	for _, s := range c.Samples() {
@@ -379,10 +386,11 @@ func (c *Collector) WriteSeries(w io.Writer) error {
 		if s.Busy {
 			busy = 1
 		}
-		_, err := fmt.Fprintf(w, "%.6f,%s,%d,%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		_, err := fmt.Fprintf(w, "%.6f,%s,%d,%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.0f,%.6f\n",
 			s.T, c.LinkName(s.Link), s.Depth, busy, s.ActiveFlows, s.Util, s.VQBacklog,
 			s.Arrived[0], s.Dropped[0], s.Marked[0], s.SentPkts[0],
-			s.Arrived[1], s.Dropped[1], s.Marked[1], s.SentPkts[1])
+			s.Arrived[1], s.Dropped[1], s.Marked[1], s.SentPkts[1],
+			s.FluidBg, s.FluidMark)
 		if err != nil {
 			return err
 		}

@@ -154,6 +154,7 @@ func TestWriteSeriesCSV(t *testing.T) {
 	c.AddSample(Sample{
 		T: 1, Link: 0, Depth: 3, Busy: true, ActiveFlows: 12, Util: 0.5,
 		VQBacklog: 100, Arrived: [2]int64{10, 5}, Dropped: [2]int64{1, 2},
+		FluidBg: 2.5e6, FluidMark: 0.125,
 	})
 	var b strings.Builder
 	if err := c.WriteSeries(&b); err != nil {
@@ -166,7 +167,7 @@ func TestWriteSeriesCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "t_s,link,depth,busy,") {
 		t.Fatalf("header = %q", lines[0])
 	}
-	want := "1.000000,L0,3,1,12,0.500000,100,10,1,0,0,5,2,0,0"
+	want := "1.000000,L0,3,1,12,0.500000,100,10,1,0,0,5,2,0,0,2500000,0.125000"
 	if lines[1] != want {
 		t.Fatalf("row = %q, want %q", lines[1], want)
 	}

@@ -138,6 +138,41 @@ func (l LoadSpec) withDefaults() LoadSpec {
 	return l
 }
 
+// HybridConfig selects the hybrid fluid/packet engine: the listed
+// background classes' data phases are carried as piecewise-constant fluid
+// rates on their path links (admission probing stays packet-level), so
+// million-host operating points run in milliseconds while the foreground
+// keeps packet-accurate probe dynamics. See netsim.FluidBackground for
+// the link-level contract and internal/conformance's hybrid crossval for
+// the calibrated agreement envelopes.
+type HybridConfig struct {
+	// Enabled turns the hybrid engine on. The zero value keeps the pure
+	// packet path byte-identical to prior releases.
+	Enabled bool
+	// Background lists the class indices whose data phase is fluid.
+	// Empty means every class: all data is fluid, only probes are packets.
+	Background []int
+	// MaxShare caps the fluid's share of each link's capacity — the
+	// foreground always keeps at least (1-MaxShare)*C of serialization
+	// rate (default 0.95).
+	MaxShare float64
+}
+
+// Active reports whether the hybrid engine is on.
+func (h HybridConfig) Active() bool { return h.Enabled }
+
+// withDefaults resolves an enabled config's unset knobs (disabled configs
+// stay zero so pure-packet configs fingerprint identically).
+func (h HybridConfig) withDefaults() HybridConfig {
+	if !h.Enabled {
+		return h
+	}
+	if h.MaxShare == 0 {
+		h.MaxShare = 0.95
+	}
+	return h
+}
+
 // LinkSpec describes one congested link.
 type LinkSpec struct {
 	RateBps    float64  // allocated share of the admission-controlled class
@@ -241,6 +276,14 @@ type Config struct {
 	// Method EAC or None and inactive Obs.
 	Shards int
 
+	// Hybrid, when enabled, carries the configured background classes'
+	// data phases as per-link fluid rates instead of packets (the hybrid
+	// fluid/packet engine; see HybridConfig). Disabled by default — the
+	// zero value leaves the packet path byte-identical. Requires Method
+	// EAC or None (MBAC and Passive measure data packets the fluid no
+	// longer sends) and the serial path (no sharding).
+	Hybrid HybridConfig
+
 	// PrepopulateUtil, if positive, seeds the simulation at time zero
 	// with enough already-admitted flows to load link 0 to roughly this
 	// average utilization. Exponential lifetimes are memoryless, so the
@@ -301,6 +344,7 @@ func (c Config) WithDefaults() Config {
 	c.AC = c.AC.WithDefaults()
 	c.Policy = c.Policy.WithDefaults()
 	c.Load = c.Load.withDefaults()
+	c.Hybrid = c.Hybrid.withDefaults()
 	if c.Method == MBAC && c.MS.Target == 0 {
 		c.MS.Target = 0.95
 	}
@@ -375,6 +419,22 @@ func (c Config) Validate() error {
 		}
 		if mc := c.Replay.MaxClass(); mc >= len(c.Classes) {
 			return fmt.Errorf("scenario: replay trace references class %d but the config has %d classes", mc, len(c.Classes))
+		}
+	}
+	if c.Hybrid.Active() {
+		if c.Method != EAC && c.Method != None {
+			return fmt.Errorf("scenario: hybrid engine requires method EAC or none (%s measures data packets the fluid does not send)", c.Method)
+		}
+		if c.Hybrid.MaxShare <= 0 || c.Hybrid.MaxShare > 1 {
+			return fmt.Errorf("scenario: hybrid MaxShare must be in (0, 1], got %g", c.Hybrid.MaxShare)
+		}
+		for _, ci := range c.Hybrid.Background {
+			if ci < 0 || ci >= len(c.Classes) {
+				return fmt.Errorf("scenario: hybrid background references class %d of %d", ci, len(c.Classes))
+			}
+		}
+		if c.Shards >= 2 {
+			return fmt.Errorf("scenario: hybrid engine runs on the serial path (fluid link state is not shard-local)")
 		}
 	}
 	if c.Shards < 0 {

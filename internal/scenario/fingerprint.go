@@ -67,6 +67,11 @@ func (c Config) Fingerprint() string {
 		// keeps the encoding self-describing.
 		w("replay=%s/%d\n", c.Replay.Digest(), c.Replay.Len())
 	}
+	// Like Schedule/Replay, the hybrid line appears only when the engine is
+	// enabled, so pure-packet configs keep their pre-hybrid encoding.
+	if c.Hybrid.Active() {
+		w("hybrid=%v share=%g\n", c.Hybrid.Background, c.Hybrid.MaxShare)
+	}
 	w("ms=%g/%g/%d\n", c.MS.Target, c.MS.SamplePeriod, c.MS.WindowPeriods)
 	w("pv=%g\n", c.PV.WindowSec)
 	w("classes=%d\n", len(c.Classes))

@@ -144,6 +144,11 @@ func TestFingerprintSensitivity(t *testing.T) {
 			c.Links = []LinkSpec{{}, {}}
 			c.Shards = 2
 		},
+		"Hybrid.Enabled": func(c *Config) { c.Hybrid.Enabled = true },
+		"Hybrid.Background": func(c *Config) {
+			c.Hybrid = HybridConfig{Enabled: true, Background: []int{0}}
+		},
+		"Hybrid.MaxShare": func(c *Config) { c.Hybrid = HybridConfig{Enabled: true, MaxShare: 0.5} },
 		"Link.RateBps":    func(c *Config) { c.Links = []LinkSpec{{RateBps: 5e6}} },
 		"Link.Delay":      func(c *Config) { c.Links = []LinkSpec{{Delay: 5 * sim.Millisecond}} },
 		"Link.BufferPkts": func(c *Config) { c.Links = []LinkSpec{{BufferPkts: 100}} },
@@ -173,7 +178,7 @@ func TestFingerprintCoversConfig(t *testing.T) {
 			"LifetimeSec", "Load", "Schedule", "Replay", "Method", "AC", "MS", "PV", "Policy",
 			"Queue", "VQFactor",
 			"Duration", "Warmup", "Drain", "MaxRetries", "RetryBackoffSec",
-			"Obs", "Cache", "Shards", "PrepopulateUtil", "Seed"},
+			"Obs", "Cache", "Shards", "Hybrid", "PrepopulateUtil", "Seed"},
 		reflect.TypeOf(ClassSpec{}):        {"Name", "Preset", "Weight", "Eps", "Path"},
 		reflect.TypeOf(LinkSpec{}):         {"RateBps", "Delay", "BufferPkts"},
 		reflect.TypeOf(LoadSpec{}):         {"PeriodSec", "OnFraction", "OnFactor", "OffFactor"},
@@ -182,6 +187,7 @@ func TestFingerprintCoversConfig(t *testing.T) {
 		reflect.TypeOf(ReplayTrace{}):      {"arrivals", "digest", "source"},
 		reflect.TypeOf(ReplayArrival{}):    {"At", "Class"},
 		reflect.TypeOf(PassiveConfig{}):    {"WindowSec"},
+		reflect.TypeOf(HybridConfig{}):     {"Enabled", "Background", "MaxShare"},
 		reflect.TypeOf(admission.Config{}): {"Design", "Kind", "Eps", "ProbeDur", "StageDur", "Guard"},
 		reflect.TypeOf(admission.PolicyConfig{}): {"Kind",
 			"BucketCap", "BucketRate", "BucketCost",

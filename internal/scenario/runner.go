@@ -33,6 +33,7 @@ type flowState struct {
 	extends   int  // probe extensions granted by the policy this attempt chain
 
 	active   bool
+	fluid    bool    // data phase carried on the fluid plane (hybrid engine)
 	lastFrac float64 // bad-packet fraction of the last probe (EAC)
 	lastEps  float64 // threshold the last probe ran against (EAC)
 }
@@ -63,6 +64,9 @@ type Runner struct {
 	rngSrc   *stats.RNG
 	rngRetry *stats.RNG
 	rngLoad  *stats.RNG
+	// rngBg is the fluid backgrounds' congestion-dice stream, created
+	// lazily by setupHybrid (pure-packet runs never touch it).
+	rngBg *stats.RNG
 
 	// policy is the run's admission policy instance (Method EAC only).
 	// The static default reproduces the pre-policy code path exactly.
@@ -106,6 +110,10 @@ type Runner struct {
 	// slot is non-nil when this runner drives one shard of a partitioned
 	// topology (see shard.go). Serial runners leave it nil.
 	slot *shardSlot
+
+	// hyb is non-nil when the hybrid fluid/packet engine is enabled
+	// (Config.Hybrid); see hybrid.go. Hybrid runs are serial-only.
+	hyb *hybridState
 
 	// Observability (nil/inert by default; see Config.Obs and Observe).
 	obs         *obs.Collector
@@ -152,6 +160,7 @@ func newRunner(cfg Config) *Runner {
 		r.links = append(r.links, l)
 		r.wireLink(i, maxPkt)
 	}
+	r.setupHybrid()
 	r.classes = make([]ClassMetrics, len(cfg.Classes))
 	for i := range r.classes {
 		r.classes[i].Name = cfg.Classes[i].Name
@@ -342,6 +351,7 @@ func (r *Runner) reset(cfg Config) {
 		}
 		r.wireLink(i, maxPkt)
 	}
+	r.setupHybrid()
 
 	if cap(r.classes) >= len(cfg.Classes) {
 		r.classes = r.classes[:len(cfg.Classes)]
@@ -419,6 +429,10 @@ func (r *Runner) newFlow(class int) *flowState {
 
 // stopFlow ends a flow's data phase (its lifetime expired).
 func (r *Runner) stopFlow(now sim.Time, f *flowState) {
+	if f.fluid {
+		r.stopFluid(now, f)
+		return
+	}
 	f.src.Stop()
 	f.active = false
 	r.activeFlows--
@@ -463,10 +477,16 @@ func linkName(i int) string { return fmt.Sprintf("L%d", i) }
 
 // Run executes the scenario and returns its metrics.
 func (r *Runner) Run() Metrics {
-	// Warmup boundary: reset link counters.
+	// Warmup boundary: reset link counters (and the fluid plane's
+	// delivered/offered integrals, which feed window utilization).
 	r.s.Call(r.cfg.Warmup, func(now sim.Time) {
 		for _, l := range r.links {
 			l.Stats.Reset(now)
+		}
+		if r.hyb != nil {
+			for _, bg := range r.hyb.bgs {
+				bg.ResetWindow(now)
+			}
 		}
 	})
 	r.startObsSampling(r.links)
@@ -522,6 +542,11 @@ func (r *Runner) sampleObs(now sim.Time, links []*netsim.Link) {
 		}
 		if l.Marker != nil {
 			s.VQBacklog = l.Marker.TotalBacklog()
+		}
+		if r.hyb != nil {
+			bg := r.hyb.bgs[i]
+			s.FluidBg = bg.Rate()
+			s.FluidMark = bg.Congestion()
 		}
 		r.obs.AddSample(s)
 	}
@@ -825,6 +850,10 @@ func (r *Runner) recordDecision(now sim.Time, f *flowState, accepted bool) {
 
 // startData begins the admitted flow's data phase and schedules its death.
 func (r *Runner) startData(now sim.Time, f *flowState) {
+	if r.hyb != nil && r.hyb.isBg[f.class] {
+		r.startFluid(now, f)
+		return
+	}
 	cl := r.cfg.Classes[f.class]
 	if f.emitFn == nil {
 		f.emitFn = func(at sim.Time, size int) { r.emitData(at, f, size) }
@@ -901,6 +930,11 @@ func (r *Runner) metrics() Metrics {
 		sent += h.winSent
 		lost += h.winDrop
 	}
+	if r.hyb != nil {
+		fs, fl := r.mergeFluidClasses(&m, r.s.Now())
+		sent += fs
+		lost += fl
+	}
 	if sent > 0 {
 		m.DataLossProb = float64(lost) / float64(sent)
 	}
@@ -934,6 +968,15 @@ func (r *Runner) metrics() Metrics {
 			lm.ProbeLossProb = float64(l.Stats.Dropped[netsim.Probe]) / float64(a)
 		}
 		m.Links[i] = lm
+	}
+	if r.hyb != nil {
+		// The fluid plane's delivered bits are part of each link's carried
+		// load; fold them into the utilizations the packet counters missed.
+		for i, l := range r.links {
+			if dt := (now - l.Stats.ResetTime).Sec(); dt > 0 {
+				m.Links[i].Utilization += r.hyb.bgs[i].DeliveredBits(now) / (l.RateBps * dt)
+			}
+		}
 	}
 	m.Utilization = m.Links[0].Utilization
 	m.ProbeShare = m.Links[0].ProbeShare

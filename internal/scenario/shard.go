@@ -73,6 +73,11 @@ func ShardableK(cfg Config, k int) int {
 	if cfg.Method != EAC && cfg.Method != None {
 		return 1
 	}
+	if cfg.Hybrid.Active() {
+		// Fluid link state is advanced from flow events across the whole
+		// topology; it is not shard-local.
+		return 1
+	}
 	if _, err := planShards(&cfg, k); err != nil {
 		return 1
 	}
